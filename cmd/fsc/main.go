@@ -1,0 +1,79 @@
+// Command fsc is the false-sharing restructurer front end: it runs
+// the full compile-time analysis on a parc source file, reports the
+// transformation decisions, and prints the restructured program.
+//
+// Usage:
+//
+//	fsc [-p N] [-b BLOCK] [-summary] [-pdv] [-plan] [-src] file.parc
+//	fsc -bench NAME ...      # use a bundled benchmark as input
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"falseshare/internal/core"
+	"falseshare/internal/workload"
+)
+
+func main() {
+	var (
+		nprocs  = flag.Int("p", 12, "number of processes/processors assumed by the analysis")
+		block   = flag.Int64("b", 128, "coherence block size in bytes")
+		bench   = flag.String("bench", "", "analyze a bundled benchmark (maxflow, pverify, ...) instead of a file")
+		scale   = flag.Int("scale", 1, "workload scale for -bench")
+		summary = flag.Bool("summary", false, "print the side-effect summary")
+		pdv     = flag.Bool("pdv", false, "print discovered PDVs")
+		plan    = flag.Bool("plan", true, "print the transformation plan")
+		src     = flag.Bool("src", false, "print the transformed source")
+	)
+	flag.Parse()
+
+	var source string
+	switch {
+	case *bench != "":
+		b := workload.Get(*bench)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "fsc: unknown benchmark %q\n", *bench)
+			os.Exit(1)
+		}
+		source = b.Source(*scale)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsc: %v\n", err)
+			os.Exit(1)
+		}
+		source = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: fsc [flags] file.parc | fsc -bench NAME")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	res, err := core.Restructure(source, core.Options{Nprocs: *nprocs, BlockSize: *block})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsc: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *pdv {
+		fmt.Println("--- process differentiating variables ---")
+		fmt.Print(res.PDVs.String())
+	}
+	if *summary {
+		fmt.Println("--- per-process side-effect summary ---")
+		fmt.Print(res.Summary.String())
+	}
+	if *plan {
+		fmt.Println("--- transformation plan ---")
+		fmt.Print(res.Plan.String())
+		fmt.Println("--- layout directives ---")
+		fmt.Print(res.Transformed.Dirs.String())
+	}
+	if *src {
+		fmt.Println("--- transformed program ---")
+		fmt.Print(res.Transformed.Source)
+	}
+}

@@ -1,0 +1,114 @@
+// Command fsexp regenerates the paper's evaluation: Figure 3,
+// Table 2, Figure 4, Table 3, and the Section 1/5 aggregate numbers.
+//
+// Usage:
+//
+//	fsexp -fig3 -table2 -fig4 -table3 -aggregates    # pick any subset
+//	fsexp -all                                        # everything
+//	fsexp -all -quick                                 # reduced sweeps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"falseshare/internal/experiments"
+	"falseshare/internal/sim/ksr"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "print Table 1 (the benchmark suite)")
+		fig3   = flag.Bool("fig3", false, "regenerate Figure 3 (miss-rate bars)")
+		table2 = flag.Bool("table2", false, "regenerate Table 2 (FS reduction by transformation)")
+		fig4   = flag.Bool("fig4", false, "regenerate Figure 4 (speedup curves)")
+		table3 = flag.Bool("table3", false, "regenerate Table 3 (maximum speedups)")
+		aggr   = flag.Bool("aggregates", false, "regenerate the §1/§5 aggregate numbers")
+		ccost  = flag.Bool("compilecost", false, "measure front-end vs restructuring time (§3.1 claim)")
+		all    = flag.Bool("all", false, "regenerate everything")
+		quick  = flag.Bool("quick", false, "smaller processor sweeps (faster)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of formatted tables (fig3/fig4/table2)")
+		scale  = flag.Int("scale", 1, "workload scale")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig3, *table2, *fig4, *table3, *aggr, *ccost = true, true, true, true, true, true, true
+	}
+	if !*table1 && !*fig3 && !*table2 && !*fig4 && !*table3 && !*aggr && !*ccost {
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Scale = *scale
+	if *quick {
+		cfg.SweepCounts = []int{1, 2, 4, 8, 12, 16, 20, 28}
+		cfg.Table2Blocks = []int64{16, 64, 128, 256}
+	}
+	machine := ksr.DefaultConfig()
+
+	if *table1 {
+		fmt.Println(experiments.RenderTable1(experiments.Table1()))
+	}
+	if *fig3 {
+		cells, err := experiments.Figure3(cfg)
+		check(err)
+		if *csv {
+			fmt.Print(experiments.CSVFigure3(cells))
+		} else {
+			fmt.Println(experiments.RenderFigure3(cells))
+		}
+	}
+	if *aggr {
+		a, err := experiments.ComputeAggregates(cfg, 128)
+		check(err)
+		fmt.Println(a.Render())
+	}
+	if *table2 {
+		rows, err := experiments.Table2(cfg)
+		check(err)
+		if *csv {
+			fmt.Print(experiments.CSVTable2(rows))
+		} else {
+			fmt.Println(experiments.RenderTable2(rows))
+		}
+	}
+	if *fig4 {
+		curves, err := experiments.Figure4(cfg, machine)
+		check(err)
+		names := make([]string, 0, len(curves))
+		for n := range curves {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if !*csv {
+			fmt.Println("Figure 4: speedup curves (N=unoptimized C=compiler P=programmer)")
+		}
+		for _, n := range names {
+			if *csv {
+				fmt.Print(experiments.CSVCurves(curves[n]))
+			} else {
+				fmt.Println(experiments.RenderCurves(curves[n]))
+			}
+		}
+	}
+	if *table3 {
+		rows, err := experiments.Table3(cfg, machine)
+		check(err)
+		fmt.Println(experiments.RenderTable3(rows))
+	}
+	if *ccost {
+		rows, err := experiments.CompileCost(*scale, 12, 5)
+		check(err)
+		fmt.Println(experiments.RenderCompileCost(rows))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsexp: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,168 @@
+// Command fssim executes a parc program (or bundled benchmark) on the
+// SPMD virtual machine and reports the multiprocessor cache
+// simulation: miss rates broken down by class, per block size.
+//
+// Usage:
+//
+//	fssim [-p N] [-blocks 16,64,128] [-transformed] file.parc
+//	fssim -bench pverify -transformed
+//	fssim -bench mp3d -save-trace mp3d.trc     # store the reference trace
+//	fssim -replay mp3d.trc -blocks 32,256      # re-simulate a stored trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"falseshare/internal/core"
+	"falseshare/internal/sim/cache"
+	"falseshare/internal/sim/trace"
+	"falseshare/internal/vm"
+	"falseshare/internal/workload"
+)
+
+func main() {
+	var (
+		nprocs      = flag.Int("p", 12, "number of processes")
+		blockList   = flag.String("blocks", "16,64,128", "comma-separated block sizes to simulate")
+		bench       = flag.String("bench", "", "run a bundled benchmark instead of a file")
+		scale       = flag.Int("scale", 1, "workload scale for -bench")
+		transformed = flag.Bool("transformed", false, "run the compiler-restructured version")
+		saveTrace   = flag.String("save-trace", "", "also store the reference trace to this file")
+		replay      = flag.String("replay", "", "simulate a stored trace instead of executing a program")
+	)
+	flag.Parse()
+
+	var blocks []int64
+	for _, s := range strings.Split(*blockList, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil || v < 4 {
+			fmt.Fprintf(os.Stderr, "fssim: bad block size %q\n", s)
+			os.Exit(2)
+		}
+		blocks = append(blocks, v)
+	}
+
+	// Replay mode: drive the simulators from a stored trace (the
+	// paper's methodology: simulate traces captured once).
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sims := make([]*cache.Sim, len(blocks))
+		sinks := make([]trace.Sink, len(blocks))
+		for i, blk := range blocks {
+			sims[i] = cache.New(cache.DefaultConfig(*nprocs, blk))
+			s := sims[i]
+			sinks[i] = func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) }
+		}
+		if err := trace.NewReader(f).ForEach(trace.Tee(sinks...)); err != nil {
+			fatal(err)
+		}
+		for i, s := range sims {
+			fmt.Printf("block %3d: %s", blocks[i], s.Stats().String())
+		}
+		return
+	}
+
+	var source string
+	switch {
+	case *bench != "":
+		b := workload.Get(*bench)
+		if b == nil {
+			fmt.Fprintf(os.Stderr, "fssim: unknown benchmark %q\n", *bench)
+			os.Exit(1)
+		}
+		source = b.Source(*scale)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fssim: %v\n", err)
+			os.Exit(1)
+		}
+		source = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: fssim [flags] file.parc | fssim -bench NAME")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	// One compiled program per block size for the transformed case
+	// (padding depends on the block); the unoptimized program is
+	// block-independent so one execution feeds all simulators.
+	if !*transformed {
+		prog, err := core.Compile(source, core.Options{Nprocs: *nprocs, BlockSize: blocks[0]})
+		if err != nil {
+			fatal(err)
+		}
+		if err := runAndReport(prog, *nprocs, blocks, *saveTrace); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for i, blk := range blocks {
+		res, err := core.Restructure(source, core.Options{Nprocs: *nprocs, BlockSize: blk})
+		if err != nil {
+			fatal(err)
+		}
+		traceFile := ""
+		if i == 0 {
+			traceFile = *saveTrace
+		}
+		if err := runAndReport(res.Transformed, *nprocs, []int64{blk}, traceFile); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runAndReport executes a program once, feeding one cache simulator
+// per block size (and optionally a trace file), then prints the
+// per-block statistics.
+func runAndReport(prog *core.Program, nprocs int, blocks []int64, traceFile string) error {
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
+	if err != nil {
+		return err
+	}
+	sims := make([]*cache.Sim, len(blocks))
+	sinks := make([]trace.Sink, 0, len(blocks)+1)
+	for i, blk := range blocks {
+		sims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
+		s := sims[i]
+		sinks = append(sinks, func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) })
+	}
+	var tw *trace.Writer
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = trace.NewWriter(f)
+		sinks = append(sinks, tw.Sink())
+	}
+	m := vm.New(bc)
+	if err := m.Run(trace.Tee(sinks...)); err != nil {
+		return err
+	}
+	if tw != nil {
+		n, err := tw.Flush()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %d references -> %s\n", n, traceFile)
+	}
+	for i, s := range sims {
+		fmt.Printf("block %3d: %s", blocks[i], s.Stats().String())
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fssim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+// Package falseshare reproduces "Reducing False Sharing on Shared
+// Memory Multiprocessors through Compile Time Data Transformations"
+// (Jeremiassen & Eggers, PPoPP 1995) as a complete Go system.
+//
+// The repository contains:
+//
+//   - a compiler front end for parc, the restricted explicitly
+//     parallel C subset the paper's model requires (internal/lang);
+//   - the paper's three compile-time analysis stages — per-process
+//     control flow with PDV detection, barrier-based non-concurrency
+//     analysis, and interprocedural summary side effects over bounded
+//     regular section descriptors with static profiling
+//     (internal/analysis);
+//   - the four shared-data transformations and the §3.3 heuristics
+//     (internal/transform), wired end to end in internal/core;
+//   - the simulation substrate: a memory layout engine
+//     (internal/layout), a bytecode VM producing interleaved shared
+//     memory traces (internal/vm), a multiprocessor write-invalidate
+//     cache simulator with word-granularity false-sharing miss
+//     classification (internal/sim/cache), and a KSR2-like ring
+//     execution-time model (internal/sim/ksr);
+//   - the ten-benchmark workload of Table 1 (internal/workload) and
+//     the harness regenerating Figure 3, Table 2, Figure 4, Table 3
+//     and the aggregate claims (internal/experiments).
+//
+// Command-line entry points live in cmd/fsc (the restructurer),
+// cmd/fssim (trace-driven cache simulation) and cmd/fsexp (the
+// evaluation). Runnable examples are under examples/. The benchmarks
+// in bench_test.go regenerate every table and figure via `go test
+// -bench`.
+package falseshare

@@ -1,0 +1,69 @@
+// Hardware: compares the paper's compile-time approach against the
+// hardware alternative discussed in its related work (Dubois et al.):
+// per-word invalidation. The hardware eliminates false-sharing misses
+// completely; the compiler eliminates most of them — with no hardware
+// change and fewer total misses than the unoptimized program under
+// either protocol.
+//
+//	go run ./examples/hardware [-bench pverify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"falseshare/internal/core"
+	"falseshare/internal/sim/cache"
+	"falseshare/internal/vm"
+	"falseshare/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "pverify", "benchmark to compare on")
+	flag.Parse()
+
+	b := workload.Get(*bench)
+	if b == nil {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	const nprocs, block = 12, 128
+
+	res, err := core.Restructure(b.Source(1), core.Options{Nprocs: nprocs, BlockSize: block})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	measure := func(prog *core.Program, wordInval bool) *cache.Stats {
+		bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := cache.DefaultConfig(nprocs, block)
+		cfg.WordInvalidate = wordInval
+		sim := cache.New(cfg)
+		if err := vm.New(bc).Run(func(r vm.Ref) {
+			sim.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return sim.Stats()
+	}
+
+	rows := []struct {
+		name  string
+		stats *cache.Stats
+	}{
+		{"unoptimized + block invalidate", measure(res.Original, false)},
+		{"unoptimized + WORD invalidate ", measure(res.Original, true)},
+		{"compiler    + block invalidate", measure(res.Transformed, false)},
+	}
+	fmt.Printf("%s at %d procs, %dB blocks:\n\n", b.Name, nprocs, block)
+	fmt.Printf("%-32s %10s %10s %10s %10s\n", "configuration", "misses", "false", "true", "inval")
+	for _, r := range rows {
+		fmt.Printf("%-32s %10d %10d %10d %10d\n",
+			r.name, r.stats.Misses(), r.stats.FalseShare, r.stats.TrueShare, r.stats.Invalidations)
+	}
+	fmt.Println("\nThe hardware removes every false-sharing miss; the compiler removes")
+	fmt.Println("most of them while also improving locality — on stock hardware.")
+}

@@ -1,0 +1,60 @@
+// Sweep: the scalability experiment in miniature. Runs one bundled
+// benchmark (default: radiosity) across processor counts on the
+// KSR2-like machine model and prints the unoptimized vs compiler
+// speedup curves — the paper's central result: false-sharing memory
+// contention reverses the unoptimized speedup trend while the
+// restructured program keeps scaling.
+//
+//	go run ./examples/sweep [-bench radiosity]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"falseshare/internal/experiments"
+	"falseshare/internal/sim/ksr"
+	"falseshare/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "radiosity", "benchmark to sweep")
+	flag.Parse()
+
+	b := workload.Get(*bench)
+	if b == nil {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+	cfg := experiments.DefaultConfig()
+	cfg.SweepCounts = []int{1, 2, 4, 8, 12, 16, 20, 28}
+
+	curves, err := experiments.SpeedupCurves(b, cfg, ksr.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(experiments.RenderCurves(curves))
+
+	fmt.Println("\nplot (each column of stars is one version's speedup):")
+	for _, c := range curves {
+		fmt.Printf("\n%s version:\n", c.Version)
+		for i, p := range c.Counts {
+			stars := int(c.Speedup[i]*2 + 0.5)
+			fmt.Printf("%3d procs |%s %.2f\n", p, repeat('*', stars), c.Speedup[i])
+		}
+	}
+}
+
+func repeat(ch byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 80 {
+		n = 80
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = ch
+	}
+	return string(b)
+}

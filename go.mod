@@ -1,0 +1,3 @@
+module falseshare
+
+go 1.22

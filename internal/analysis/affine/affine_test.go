@@ -1,0 +1,177 @@
+package affine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/parser"
+	"falseshare/internal/lang/types"
+)
+
+// env is a test environment with one PDV ("myid" = pid) and one
+// constant ("chunk" = 20), over 4 processes.
+type env struct {
+	info *types.Info
+}
+
+func (e *env) PDVValue(s *types.Symbol) (Expr, bool) {
+	switch s.Name {
+	case "myid":
+		return PidTerm(0, 1), true
+	case "chunk":
+		return Constant(20), true
+	}
+	return Expr{}, false
+}
+func (e *env) IsInduction(s *types.Symbol) bool { return s.Name == "i" || s.Name == "j" }
+func (e *env) Nprocs() int64                    { return 4 }
+
+func TestAnalyzeForms(t *testing.T) {
+	cases := []struct {
+		src          string
+		constV, pidV int64
+		ivCount      int
+		residue      bool
+	}{
+		{"5", 5, 0, 0, false},
+		{"pid", 0, 1, 0, false},
+		{"myid", 0, 1, 0, false},
+		{"nprocs", 4, 0, 0, false},
+		{"pid * 3 + 1", 1, 3, 0, false},
+		{"myid * chunk", 0, 20, 0, false},
+		{"chunk / 5", 4, 0, 0, false},
+		{"i", 0, 0, 1, false},
+		{"pid * chunk + i", 0, 20, 1, false},
+		{"i * 4 + j", 0, 0, 2, false},
+		{"-pid", 0, -1, 0, false},
+		{"unknown + i", 0, 0, 1, true}, // stride survives the residue
+		{"pid % 2", 0, 0, 0, true},
+		{"pid / 2", 0, 0, 0, true},
+		{"10 % 3", 1, 0, 0, false},
+	}
+	for _, tc := range cases {
+		form := analyzeExpr(t, tc.src)
+		if form.Const != tc.constV || form.Pid != tc.pidV ||
+			len(form.IV) != tc.ivCount || form.Residue != tc.residue {
+			t.Errorf("Analyze(%q) = %s {const=%d pid=%d ivs=%d residue=%v}, want {%d %d %d %v}",
+				tc.src, form, form.Const, form.Pid, len(form.IV), form.Residue,
+				tc.constV, tc.pidV, tc.ivCount, tc.residue)
+		}
+	}
+}
+
+// analyzeExpr parses an expression inside a context program (with a
+// PDV, a constant, two induction variables and an unknown) and runs
+// Analyze on it.
+func analyzeExpr(t *testing.T, exprSrc string) Expr {
+	t.Helper()
+	src := `
+private int myid;
+private int chunk;
+shared int sink;
+void main() {
+    int i;
+    int j;
+    int unknown;
+    myid = pid;
+    chunk = 20;
+    i = 0;
+    j = 0;
+    unknown = sink;
+    sink = ` + exprSrc + `;
+}
+`
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", exprSrc, err)
+	}
+	info, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check %q: %v", exprSrc, err)
+	}
+	main := f.Func("main")
+	stmts := main.Body.List
+	last, ok := stmts[len(stmts)-1].(*ast.AssignStmt)
+	if !ok {
+		t.Fatalf("last statement is %T", stmts[len(stmts)-1])
+	}
+	return Analyze(last.RHS, info, &env{info: info})
+}
+
+func TestEvalPid(t *testing.T) {
+	e := PidTerm(3, 2) // 3 + 2*pid
+	for pid := int64(0); pid < 4; pid++ {
+		v, ok := e.EvalPid(pid)
+		if !ok || v != 3+2*pid {
+			t.Errorf("EvalPid(%d) = %d, %v", pid, v, ok)
+		}
+	}
+	if _, ok := Unknown().EvalPid(0); ok {
+		t.Errorf("unknown form must not evaluate")
+	}
+}
+
+// Properties of the affine algebra, checked with testing/quick.
+func TestAffineAlgebraProperties(t *testing.T) {
+	type form struct{ C, P int64 }
+	mk := func(f form) Expr { return PidTerm(f.C%1000, f.P%1000) }
+	eval := func(e Expr, pid int64) int64 {
+		v, _ := e.EvalPid(pid)
+		return v
+	}
+
+	// (a+b) evaluated == a evaluated + b evaluated.
+	addHomo := func(a, b form, pidRaw uint8) bool {
+		pid := int64(pidRaw % 16)
+		ea, eb := mk(a), mk(b)
+		return eval(ea.Add(eb), pid) == eval(ea, pid)+eval(eb, pid)
+	}
+	// (a-b) likewise.
+	subHomo := func(a, b form, pidRaw uint8) bool {
+		pid := int64(pidRaw % 16)
+		ea, eb := mk(a), mk(b)
+		return eval(ea.Sub(eb), pid) == eval(ea, pid)-eval(eb, pid)
+	}
+	// Scaling likewise.
+	scaleHomo := func(a form, kRaw int8, pidRaw uint8) bool {
+		pid := int64(pidRaw % 16)
+		k := int64(kRaw % 20)
+		ea := mk(a)
+		return eval(ea.Scale(k), pid) == k*eval(ea, pid)
+	}
+	// Residue is contagious.
+	residueContagious := func(a form) bool {
+		return mk(a).Add(Unknown()).Residue && Unknown().Sub(mk(a)).Residue
+	}
+	for name, f := range map[string]any{
+		"add": addHomo, "sub": subHomo, "scale": scaleHomo, "residue": residueContagious,
+	} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGcd(t *testing.T) {
+	cases := [][3]int64{
+		{12, 18, 6}, {0, 5, 5}, {5, 0, 5}, {-12, 18, 6}, {7, 13, 1}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Gcd(c[0], c[1]); got != c[2] {
+			t.Errorf("Gcd(%d, %d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := PidTerm(2, 3).String(); s != "2 + 3*pid" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Constant(0).String(); s != "0" {
+		t.Errorf("zero String = %q", s)
+	}
+	if s := Unknown().String(); s != "?" {
+		t.Errorf("unknown String = %q", s)
+	}
+}

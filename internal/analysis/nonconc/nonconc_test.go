@@ -1,0 +1,185 @@
+package nonconc
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/cfg"
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/parser"
+	"falseshare/internal/lang/types"
+)
+
+func build(t *testing.T, src string) (*cfg.CallGraph, *types.Info) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return cfg.BuildProgram(f), info
+}
+
+// phasesOfAssign returns the phase set of the statement assigning the
+// named global in main.
+func phasesOfAssign(t *testing.T, prog *cfg.CallGraph, res *Result, global string) PhaseSet {
+	t.Helper()
+	g := prog.Graphs["main"]
+	for _, n := range g.Nodes {
+		for _, s := range n.Stmts {
+			if as, ok := s.(*ast.AssignStmt); ok {
+				if id, ok2 := as.LHS.(*ast.Ident); ok2 && id.Name == global {
+					return res.NodePhases[n]
+				}
+			}
+		}
+	}
+	t.Fatalf("no assignment to %q", global)
+	return 0
+}
+
+func TestLinearPhases(t *testing.T) {
+	prog, _ := build(t, `
+shared int a;
+shared int b;
+shared int c;
+void main() {
+    a = 1;
+    barrier;
+    b = 1;
+    barrier;
+    c = 1;
+}
+`)
+	res, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 3 {
+		t.Fatalf("phases = %d, want 3", res.N)
+	}
+	for name, want := range map[string]int{"a": 0, "b": 1, "c": 2} {
+		ps := phasesOfAssign(t, prog, res, name)
+		if ps.Phases()[0] != want || len(ps.Phases()) != 1 {
+			t.Errorf("%s phases = %s, want {%d}", name, ps, want)
+		}
+	}
+	// Phase control flow: 0 -> 1 -> 2.
+	if !res.Succ[0].Has(1) || !res.Succ[1].Has(2) || res.Succ[0].Has(2) {
+		t.Errorf("phase successors wrong: %v", res.Succ)
+	}
+}
+
+func TestBarrierInLoop(t *testing.T) {
+	prog, _ := build(t, `
+shared int a;
+shared int b;
+void main() {
+    for (int s = 0; s < 10; s = s + 1) {
+        a = a + 1;
+        barrier;
+        b = b + 1;
+        barrier;
+    }
+}
+`)
+	res, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 3 {
+		t.Fatalf("phases = %d, want 3 (initial + 2 barriers)", res.N)
+	}
+	// a executes in phase 0 (first iteration) and in phase 2 (after
+	// the loop's second barrier wraps around).
+	pa := phasesOfAssign(t, prog, res, "a")
+	if !pa.Has(0) || !pa.Has(2) || pa.Has(1) {
+		t.Errorf("a phases = %s, want {0,2}", pa)
+	}
+	pb := phasesOfAssign(t, prog, res, "b")
+	if !pb.Has(1) || pb.Has(0) {
+		t.Errorf("b phases = %s, want {1}", pb)
+	}
+	// The loop's second barrier flows back to the first.
+	if !res.Succ[2].Has(1) {
+		t.Errorf("phase 2 should flow to phase 1: %v", res.Succ)
+	}
+}
+
+func TestFuncPhases(t *testing.T) {
+	prog, _ := build(t, `
+shared int a;
+void initwork() { a = 0; }
+void compute() { a = a + 1; }
+void main() {
+    initwork();
+    barrier;
+    compute();
+}
+`)
+	res, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FuncPhases["initwork"]; !got.Has(0) || got.Has(1) {
+		t.Errorf("initwork phases = %s, want {0}", got)
+	}
+	if got := res.FuncPhases["compute"]; !got.Has(1) || got.Has(0) {
+		t.Errorf("compute phases = %s, want {1}", got)
+	}
+}
+
+func TestTransitiveFuncPhases(t *testing.T) {
+	prog, _ := build(t, `
+shared int a;
+void leaf() { a = a + 1; }
+void mid() { leaf(); }
+void main() {
+    barrier;
+    mid();
+}
+`)
+	res, err := Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.FuncPhases["leaf"]; !got.Has(1) || got.Has(0) {
+		t.Errorf("leaf phases = %s, want {1}", got)
+	}
+}
+
+func TestBarrierOutsideMainRejected(t *testing.T) {
+	prog, _ := build(t, `
+void sync() { barrier; }
+void main() { sync(); }
+`)
+	_, err := Analyze(prog)
+	if err == nil || !strings.Contains(err.Error(), "only in main") {
+		t.Fatalf("expected barrier restriction error, got %v", err)
+	}
+}
+
+func TestPhaseSetOps(t *testing.T) {
+	var s PhaseSet
+	s = s.Add(0).Add(5)
+	if !s.Has(0) || !s.Has(5) || s.Has(1) || s.Empty() {
+		t.Errorf("set ops wrong: %s", s)
+	}
+	if got := s.String(); got != "{0,5}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := s.Union(PhaseSet(0).Add(1)).Phases(); len(got) != 3 {
+		t.Errorf("union = %v", got)
+	}
+}
+
+func TestNoMain(t *testing.T) {
+	// Build a call graph manually missing main.
+	prog := &cfg.CallGraph{Graphs: map[string]*cfg.Graph{}}
+	if _, err := Analyze(prog); err == nil {
+		t.Fatalf("expected error for missing main")
+	}
+}

@@ -1,0 +1,204 @@
+package pdv
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/lang/parser"
+	"falseshare/internal/lang/types"
+)
+
+func analyze(t *testing.T, src string, nprocs int64) (*types.Info, *Result) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info, Analyze(info, nprocs)
+}
+
+// symbol finds a global or a local of main by name.
+func symbol(t *testing.T, info *types.Info, name string) *types.Symbol {
+	t.Helper()
+	if s, ok := info.Globals[name]; ok {
+		return s
+	}
+	for _, s := range info.Funcs["main"].Locals {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("symbol %q not found", name)
+	return nil
+}
+
+func TestDirectCopy(t *testing.T) {
+	info, res := analyze(t, `
+private int myid;
+void main() {
+    myid = pid;
+}
+`, 8)
+	s := symbol(t, info, "myid")
+	v, ok := res.PDVValue(s)
+	if !ok || v.Pid != 1 || v.Const != 0 {
+		t.Fatalf("myid value = %v, ok=%v", v, ok)
+	}
+	if !res.IsPDV(s) {
+		t.Errorf("myid should be a PDV")
+	}
+}
+
+func TestAffineChain(t *testing.T) {
+	info, res := analyze(t, `
+private int myid;
+private int base;
+private int chunk;
+void main() {
+    myid = pid;
+    chunk = 120 / nprocs;
+    base = myid * chunk + 5;
+}
+`, 8)
+	chunk := symbol(t, info, "chunk")
+	if v, ok := res.PDVValue(chunk); !ok || v.Const != 15 || v.Pid != 0 {
+		t.Fatalf("chunk = %v, ok=%v", v, ok)
+	}
+	if res.IsPDV(chunk) {
+		t.Errorf("chunk is constant, not a PDV")
+	}
+	base := symbol(t, info, "base")
+	v, ok := res.PDVValue(base)
+	if !ok || v.Pid != 15 || v.Const != 5 {
+		t.Fatalf("base = %v, ok=%v", v, ok)
+	}
+}
+
+func TestMultipleAssignmentsDisqualify(t *testing.T) {
+	info, res := analyze(t, `
+private int x;
+void main() {
+    x = pid;
+    x = x + 1;
+}
+`, 8)
+	if _, ok := res.PDVValue(symbol(t, info, "x")); ok {
+		t.Errorf("reassigned variable must not be a PDV")
+	}
+}
+
+func TestNonAffineDisqualifies(t *testing.T) {
+	info, res := analyze(t, `
+shared int g;
+private int x;
+void main() {
+    x = g;
+}
+`, 8)
+	if _, ok := res.PDVValue(symbol(t, info, "x")); ok {
+		t.Errorf("value loaded from shared memory must not be a PDV")
+	}
+}
+
+func TestParameterPDV(t *testing.T) {
+	src := `
+shared int a[64];
+void work(int id) {
+    a[id] = 1;
+}
+void main() {
+    work(pid * 2);
+}
+`
+	info, res := analyze(t, src, 8)
+	p := info.Funcs["work"].Params[0]
+	v, ok := res.PDVValue(p)
+	if !ok || v.Pid != 2 {
+		t.Fatalf("param value = %v, ok=%v", v, ok)
+	}
+}
+
+func TestParameterConflictingSites(t *testing.T) {
+	src := `
+shared int a[64];
+void work(int id) {
+    a[id] = 1;
+}
+void main() {
+    work(pid);
+    work(pid + 1);
+}
+`
+	info, res := analyze(t, src, 8)
+	p := info.Funcs["work"].Params[0]
+	if _, ok := res.PDVValue(p); ok {
+		t.Errorf("parameter with conflicting call sites must not be a PDV")
+	}
+}
+
+func TestParameterReassignedInBody(t *testing.T) {
+	src := `
+shared int a[64];
+void work(int id) {
+    id = id + 1;
+    a[id] = 1;
+}
+void main() {
+    work(pid);
+}
+`
+	info, res := analyze(t, src, 8)
+	p := info.Funcs["work"].Params[0]
+	if _, ok := res.PDVValue(p); ok {
+		t.Errorf("reassigned parameter must not be a PDV")
+	}
+}
+
+func TestLoopInductionNotPDV(t *testing.T) {
+	info, res := analyze(t, `
+shared int a[64];
+void main() {
+    for (int i = 0; i < 8; i = i + 1) {
+        a[i] = 1;
+    }
+}
+`, 8)
+	// i has two assignments (init + post): not a PDV.
+	var iSym *types.Symbol
+	for _, s := range info.Funcs["main"].Locals {
+		if s.Name == "i" {
+			iSym = s
+		}
+	}
+	if _, ok := res.PDVValue(iSym); ok {
+		t.Errorf("loop induction variable must not be a PDV")
+	}
+}
+
+func TestString(t *testing.T) {
+	_, res := analyze(t, `
+private int myid;
+void main() { myid = pid; }
+`, 4)
+	if !strings.Contains(res.String(), "myid = 1*pid") {
+		t.Errorf("String():\n%s", res.String())
+	}
+}
+
+func TestNprocsSubstitution(t *testing.T) {
+	info, res := analyze(t, `
+private int half;
+void main() { half = nprocs / 2; }
+`, 12)
+	v, ok := res.PDVValue(symbol(t, info, "half"))
+	if !ok || v.Const != 6 {
+		t.Fatalf("half = %v (nprocs must be substituted)", v)
+	}
+	if res.Nprocs() != 12 {
+		t.Errorf("Nprocs = %d", res.Nprocs())
+	}
+}

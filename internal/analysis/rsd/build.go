@@ -1,0 +1,47 @@
+package rsd
+
+import (
+	"falseshare/internal/analysis/affine"
+	"falseshare/internal/lang/types"
+)
+
+// Loop describes one enclosing loop for subscript analysis.
+type Loop struct {
+	IV      *types.Symbol
+	Lo, Hi  affine.Expr // pid-only affine bounds; Hi exclusive
+	Step    int64       // > 0 for analyzable loops
+	Bounded bool        // false when bounds or step are unknown
+}
+
+// FromSubscript builds the atom for one dimension from the affine form
+// of its subscript expression and the enclosing loop context.
+func FromSubscript(form affine.Expr, loops []Loop) Atom {
+	loopOf := map[*types.Symbol]*Loop{}
+	for i := range loops {
+		loopOf[loops[i].IV] = &loops[i]
+	}
+
+	atom := Atom{Known: !form.Residue, Base: form.DropIVs()}
+	if form.Residue {
+		atom.Base = affine.Expr{}
+	}
+	for _, iv := range form.IVs() {
+		coef := form.IVCoef(iv)
+		l, ok := loopOf[iv]
+		if !ok {
+			// An induction-like variable with no analyzable loop: the
+			// base becomes unknown but the term still records stride.
+			atom.Known = false
+			atom.Terms = append(atom.Terms, IVTerm{Coef: coef, Step: 1, Bounded: false})
+			continue
+		}
+		t := IVTerm{Coef: coef, Step: l.Step, Bounded: l.Bounded, Lo: l.Lo, Hi: l.Hi}
+		if !l.Bounded {
+			if t.Step <= 0 {
+				t.Step = 1
+			}
+		}
+		atom.Terms = append(atom.Terms, t)
+	}
+	return atom
+}

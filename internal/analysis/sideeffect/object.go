@@ -1,0 +1,81 @@
+// Package sideeffect implements stage 3 of the compile-time analysis:
+// an interprocedural, flow-insensitive summary side-effect analysis
+// with static profiling, producing per-process, per-phase read/write
+// summaries of every shared data object as bounded regular section
+// descriptors.
+package sideeffect
+
+import (
+	"falseshare/internal/lang/types"
+)
+
+// ObjKind classifies the shared data objects the analysis tracks.
+type ObjKind int
+
+const (
+	// GlobalObj is a shared file-scope scalar or array (including
+	// locks, whose storage class distinguishes them).
+	GlobalObj ObjKind = iota
+	// FieldObj is a struct field, aggregated over all instances of the
+	// struct (the granularity at which indirection applies).
+	FieldObj
+	// HeapViaObj is the heap block reachable through a shared global
+	// pointer, e.g. the array assigned to "shared double *work".
+	HeapViaObj
+	// HeapTypeObj aggregates heap storage of one element type reached
+	// through local pointers with no better name.
+	HeapTypeObj
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case GlobalObj:
+		return "global"
+	case FieldObj:
+		return "field"
+	case HeapViaObj:
+		return "heap-via"
+	case HeapTypeObj:
+		return "heap-type"
+	}
+	return "obj?"
+}
+
+// Object identifies one shared data object.
+type Object struct {
+	Kind  ObjKind
+	Name  string        // global name, "Struct.field", "*global", or "heap.T"
+	Sym   *types.Symbol // GlobalObj, HeapViaObj: the global symbol
+	Field *types.Field  // FieldObj: the field
+}
+
+// Key returns the map key for the object.
+func (o Object) Key() string { return o.Kind.String() + ":" + o.Name }
+
+// IsLock reports whether the object is a lock variable.
+func (o Object) IsLock() bool {
+	return o.Kind == GlobalObj && o.Sym != nil && o.Sym.Type != nil &&
+		types.ElemType(o.Sym.Type).Kind == types.LockT
+}
+
+// GlobalObject builds the object for a shared global symbol.
+func GlobalObject(sym *types.Symbol) Object {
+	return Object{Kind: GlobalObj, Name: sym.Name, Sym: sym}
+}
+
+// FieldObject builds the object for a struct field.
+func FieldObject(f *types.Field) Object {
+	return Object{Kind: FieldObj, Name: f.QualifiedName(), Field: f}
+}
+
+// HeapViaObject builds the object for the heap block behind a shared
+// global pointer.
+func HeapViaObject(sym *types.Symbol) Object {
+	return Object{Kind: HeapViaObj, Name: "*" + sym.Name, Sym: sym}
+}
+
+// HeapTypeObject builds the aggregate object for heap storage of one
+// element type.
+func HeapTypeObject(t *types.Type) Object {
+	return Object{Kind: HeapTypeObj, Name: "heap." + t.String()}
+}

@@ -1,0 +1,204 @@
+package sideeffect
+
+import (
+	"falseshare/internal/analysis/affine"
+	"falseshare/internal/analysis/pdv"
+	"falseshare/internal/analysis/rsd"
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/types"
+)
+
+// Prov classifies where a pointer value can point, from the point of
+// view of process locality. It is how the analysis extends the paper's
+// per-process reasoning to data embedded in dynamic structures: a
+// pointer obtained from a PDV-partitioned root (e.g. heads[pid]) or
+// from the process's own allocation, and chased only through the
+// structure's own link fields, stays per-process.
+type Prov int
+
+const (
+	// ProvUnknown means no assignment has been seen yet.
+	ProvUnknown Prov = iota
+	// ProvPerProcess pointers reach only data owned by the executing
+	// process (PDV-partitioned roots, own allocations, own chains).
+	ProvPerProcess
+	// ProvShared pointers may reach data touched by other processes.
+	ProvShared
+)
+
+func (p Prov) String() string {
+	switch p {
+	case ProvPerProcess:
+		return "per-process"
+	case ProvShared:
+		return "shared"
+	}
+	return "unknown"
+}
+
+// join combines two provenances: shared poisons, unknown is identity.
+func (p Prov) join(q Prov) Prov {
+	if p == ProvShared || q == ProvShared {
+		return ProvShared
+	}
+	if p == ProvPerProcess || q == ProvPerProcess {
+		return ProvPerProcess
+	}
+	return ProvUnknown
+}
+
+// provenance computes a provenance for every pointer-typed symbol and
+// every function's pointer return value, by fixed point over all
+// assignments, argument bindings and returns in the program.
+type provenance struct {
+	info *types.Info
+	pdvs *pdv.Result
+	syms map[*types.Symbol]Prov
+	rets map[string]Prov
+}
+
+func newProvenance(info *types.Info, pdvs *pdv.Result) *provenance {
+	pr := &provenance{
+		info: info,
+		pdvs: pdvs,
+		syms: map[*types.Symbol]Prov{},
+		rets: map[string]Prov{},
+	}
+	pr.run()
+	return pr
+}
+
+func (pr *provenance) run() {
+	// Shared global pointers are shared roots by definition.
+	for _, sym := range pr.info.Globals {
+		if sym.Type != nil && types.ElemType(sym.Type).Kind == types.Pointer && sym.IsShared() {
+			pr.syms[sym] = ProvShared
+		}
+	}
+	for iter := 0; iter < 20; iter++ {
+		if !pr.pass() {
+			break
+		}
+	}
+}
+
+// pass applies every assignment once; reports whether anything changed.
+func (pr *provenance) pass() bool {
+	changed := false
+	update := func(sym *types.Symbol, p Prov) {
+		if sym == nil || p == ProvUnknown {
+			return
+		}
+		// Shared global pointers stay shared regardless of what is
+		// stored into them.
+		if sym.Kind == types.GlobalVar && sym.IsShared() {
+			return
+		}
+		nw := pr.syms[sym].join(p)
+		if nw != pr.syms[sym] {
+			pr.syms[sym] = nw
+			changed = true
+		}
+	}
+
+	for _, fn := range pr.info.File.Funcs {
+		fname := fn.Name
+		ast.Walk(fn.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if id, ok := x.LHS.(*ast.Ident); ok {
+					sym := pr.info.Uses[id]
+					if sym != nil && sym.Type != nil && sym.Type.Kind == types.Pointer {
+						update(sym, pr.ExprProv(x.RHS))
+					}
+				}
+			case *ast.DeclStmt:
+				if x.Init != nil {
+					sym := pr.info.LocalDecls[x.Decl]
+					if sym != nil && sym.Type != nil && sym.Type.Kind == types.Pointer {
+						update(sym, pr.ExprProv(x.Init))
+					}
+				}
+			case *ast.CallExpr:
+				callee := pr.info.Funcs[x.Name]
+				if callee != nil {
+					for i, arg := range x.Args {
+						if i < len(callee.Params) && callee.Params[i].Type.Kind == types.Pointer {
+							update(callee.Params[i], pr.ExprProv(arg))
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				fi := pr.info.Funcs[fname]
+				if x.X != nil && fi != nil && fi.Ret.Kind == types.Pointer {
+					nw := pr.rets[fname].join(pr.ExprProv(x.X))
+					if nw != pr.rets[fname] {
+						pr.rets[fname] = nw
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return changed
+}
+
+// ExprProv computes the provenance of a pointer-valued expression.
+func (pr *provenance) ExprProv(e ast.Expr) Prov {
+	switch x := e.(type) {
+	case *ast.Ident:
+		sym := pr.info.Uses[x]
+		if sym == nil {
+			return ProvShared
+		}
+		if p, ok := pr.syms[sym]; ok {
+			return p
+		}
+		return ProvUnknown
+	case *ast.AllocExpr:
+		// Freshly allocated storage belongs to the allocating process.
+		return ProvPerProcess
+	case *ast.FieldExpr:
+		// Chasing a structure's own link field preserves ownership.
+		return pr.ExprProv(x.X)
+	case *ast.IndexExpr:
+		// heads[pid-disjoint subscript] is a per-process root.
+		baseT := pr.info.TypeOf(x.X)
+		if baseT != nil && (baseT.Kind == types.Array || baseT.Kind == types.Pointer) {
+			form := affine.Analyze(x.Index, pr.info, pr.pdvs)
+			atom := rsd.FromSubscript(form, nil)
+			r := rsd.RSD{atom}
+			if r.PairwiseDisjoint(pr.pdvs.Nprocs()) {
+				return ProvPerProcess
+			}
+		}
+		// Indexing through a pointer stays within the block that
+		// pointer owns: blocks[pid][i] is as per-process as
+		// blocks[pid].
+		if baseT != nil && baseT.Kind == types.Pointer {
+			return pr.ExprProv(x.X)
+		}
+		return ProvShared
+	case *ast.CallExpr:
+		if p, ok := pr.rets[x.Name]; ok {
+			return p
+		}
+		return ProvUnknown
+	case *ast.IntLit:
+		return ProvUnknown // null pointer
+	case *ast.DerefExpr:
+		return pr.ExprProv(x.X)
+	}
+	return ProvShared
+}
+
+// SymProv returns the provenance of a pointer symbol (shared when
+// nothing better is known: unassigned pointers cannot be proven
+// per-process).
+func (pr *provenance) SymProv(s *types.Symbol) Prov {
+	if p, ok := pr.syms[s]; ok && p != ProvUnknown {
+		return p
+	}
+	return ProvShared
+}

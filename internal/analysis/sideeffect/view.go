@@ -1,0 +1,135 @@
+package sideeffect
+
+import (
+	"falseshare/internal/analysis/procs"
+	"falseshare/internal/analysis/rsd"
+)
+
+// View aggregates an object's accesses restricted to one phase.
+// Non-concurrency analysis exists exactly for this: the dominant
+// sharing pattern is judged per phase, so a one-time initialization
+// sweep by process 0 does not mask the steady-state per-process
+// pattern of the compute phases.
+type View struct {
+	Reads      []rsd.Weighted
+	Writes     []rsd.Weighted
+	ReadW      float64
+	WriteW     float64
+	ReadProcs  procs.Set
+	WriteProcs procs.Set
+	ReadProv   Prov
+	WriteProv  Prov
+}
+
+// DominantPhase returns the phase carrying the most access weight for
+// this object (phase 0 when the object has no phased accesses).
+func (os *ObjectSummary) DominantPhase() int {
+	best, bestW := 0, -1.0
+	for p, w := range os.PhaseWeight {
+		if w > bestW || (w == bestW && p < best) {
+			best, bestW = p, w
+		}
+	}
+	return best
+}
+
+// PhaseView builds the view of the object's accesses in one phase.
+// Accesses with an empty phase set (code the phase analysis could not
+// attribute) are conservatively included in every phase.
+func (os *ObjectSummary) PhaseView(phase int, limit int) *View {
+	v := &View{}
+	for _, a := range os.Accesses {
+		if !a.Phases.Empty() && !a.Phases.Has(phase) {
+			continue
+		}
+		if a.Write {
+			v.WriteW += a.Weight
+			v.WriteProcs = v.WriteProcs.Union(a.Procs)
+			v.Writes = rsd.Add(v.Writes, a.R, a.Weight, limit)
+			v.WriteProv = v.WriteProv.join(a.Prov)
+		} else {
+			v.ReadW += a.Weight
+			v.ReadProcs = v.ReadProcs.Union(a.Procs)
+			v.Reads = rsd.Add(v.Reads, a.R, a.Weight, limit)
+			v.ReadProv = v.ReadProv.join(a.Prov)
+		}
+	}
+	return v
+}
+
+// PerProcessWrites reports whether, in this view, the write pattern is
+// per-process: more than one process writes, and every pair of
+// processes writes provably disjoint sections (across all write
+// descriptors).
+func (v *View) PerProcessWrites(nprocs int64) bool {
+	return v.WriteW > 0 && perProcessDescs(v.Writes, nprocs)
+}
+
+// PerProcessReads is the read-side analogue.
+func (v *View) PerProcessReads(nprocs int64) bool {
+	return v.ReadW > 0 && perProcessDescs(v.Reads, nprocs)
+}
+
+// perProcessDescs checks cross-process disjointness over a descriptor
+// list: for every pair of distinct processes and every pair of
+// descriptors, the sections must be provably disjoint.
+func perProcessDescs(list []rsd.Weighted, nprocs int64) bool {
+	if len(list) == 0 {
+		return false
+	}
+	for p := int64(0); p < nprocs; p++ {
+		for q := int64(0); q < nprocs; q++ {
+			if p == q {
+				continue
+			}
+			for i := range list {
+				for j := range list {
+					if !crossDisjoint(list[i].R, list[j].R, p, q) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// crossDisjoint reports whether descriptor a's section for process p
+// is provably disjoint from descriptor b's section for process q
+// (disjoint in at least one common dimension).
+func crossDisjoint(a, b rsd.RSD, p, q int64) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return false
+	}
+	for d := 0; d < n; d++ {
+		if rsd.DisjointSections(a[d].Section(p), b[d].Section(q)) {
+			return true
+		}
+	}
+	return false
+}
+
+// SpatialReads reports whether the read pattern has spatial locality:
+// some read descriptor walks its innermost dimension with unit stride.
+func (v *View) SpatialReads() bool {
+	for _, r := range v.Reads {
+		if r.R.InnerUnitStride() {
+			return true
+		}
+	}
+	return false
+}
+
+// SpatialWrites is the write-side analogue.
+func (v *View) SpatialWrites() bool {
+	for _, w := range v.Writes {
+		if w.R.InnerUnitStride() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package sideeffect
+
+import (
+	"testing"
+
+	"falseshare/internal/analysis/affine"
+	"falseshare/internal/analysis/nonconc"
+	"falseshare/internal/analysis/procs"
+	"falseshare/internal/analysis/rsd"
+	"falseshare/internal/lang/types"
+)
+
+// mkAccess builds a synthetic access for view tests.
+func mkAccess(write bool, phase int, procset procs.Set, w float64, r rsd.RSD, prov Prov) *Access {
+	var ps nonconc.PhaseSet
+	ps = ps.Add(phase)
+	return &Access{
+		R: r, Write: write, Procs: procset, Phases: ps, Weight: w, Prov: prov,
+	}
+}
+
+func pidPoint() rsd.RSD { return rsd.RSD{rsd.Point(affine.PidTerm(0, 1))} }
+
+func TestDominantPhase(t *testing.T) {
+	os := &ObjectSummary{PhaseWeight: map[int]float64{0: 5, 1: 100, 2: 3}}
+	if got := os.DominantPhase(); got != 1 {
+		t.Errorf("dominant = %d", got)
+	}
+	empty := &ObjectSummary{PhaseWeight: map[int]float64{}}
+	if got := empty.DominantPhase(); got != 0 {
+		t.Errorf("empty dominant = %d", got)
+	}
+}
+
+func TestPhaseViewFilters(t *testing.T) {
+	os := &ObjectSummary{PhaseWeight: map[int]float64{}}
+	os.Accesses = []*Access{
+		mkAccess(true, 0, procs.Single(0), 10, pidPoint(), ProvUnknown),
+		mkAccess(true, 1, procs.All(4), 50, pidPoint(), ProvUnknown),
+		mkAccess(false, 1, procs.All(4), 20, pidPoint(), ProvUnknown),
+	}
+	v0 := os.PhaseView(0, 10)
+	if v0.WriteW != 10 || v0.ReadW != 0 {
+		t.Errorf("phase 0 view: %+v", v0)
+	}
+	v1 := os.PhaseView(1, 10)
+	if v1.WriteW != 50 || v1.ReadW != 20 {
+		t.Errorf("phase 1 view: %+v", v1)
+	}
+	if v1.WriteProcs != procs.All(4) {
+		t.Errorf("phase 1 procs: %s", v1.WriteProcs)
+	}
+}
+
+func TestPhaselessAccessInEveryView(t *testing.T) {
+	os := &ObjectSummary{PhaseWeight: map[int]float64{}}
+	a := mkAccess(true, 0, procs.All(2), 5, pidPoint(), ProvUnknown)
+	a.Phases = 0 // unattributed
+	os.Accesses = []*Access{a}
+	for _, ph := range []int{0, 1, 7} {
+		if v := os.PhaseView(ph, 10); v.WriteW != 5 {
+			t.Errorf("phase %d misses the unattributed access", ph)
+		}
+	}
+}
+
+func TestPerProcessWritesView(t *testing.T) {
+	v := &View{
+		WriteW: 10,
+		Writes: []rsd.Weighted{{R: pidPoint(), Weight: 10}},
+	}
+	if !v.PerProcessWrites(8) {
+		t.Errorf("pid points must be per-process")
+	}
+	// Adding an overlapping descriptor breaks it.
+	v.Writes = append(v.Writes, rsd.Weighted{R: rsd.RSD{rsd.Point(affine.Constant(3))}, Weight: 1})
+	if v.PerProcessWrites(8) {
+		t.Errorf("overlapping constant point must break per-process writes")
+	}
+}
+
+func TestSpatialViews(t *testing.T) {
+	unit := rsd.RSD{rsd.FromSubscript(affine.Expr{IV: nil}, nil)}
+	_ = unit
+	rangeUnit := rsd.RSD{rsd.Atom{
+		Known: true,
+		Base:  affine.Constant(0),
+		Terms: []rsd.IVTerm{{Coef: 1, Step: 1, Bounded: true,
+			Lo: affine.Constant(0), Hi: affine.Constant(64)}},
+	}}
+	v := &View{Reads: []rsd.Weighted{{R: rangeUnit, Weight: 1}}}
+	if !v.SpatialReads() {
+		t.Errorf("unit-stride range must have spatial locality")
+	}
+	v2 := &View{Writes: []rsd.Weighted{{R: pidPoint(), Weight: 1}}}
+	if v2.SpatialWrites() {
+		t.Errorf("points have no spatial locality")
+	}
+}
+
+func TestProvJoin(t *testing.T) {
+	cases := []struct{ a, b, want Prov }{
+		{ProvUnknown, ProvUnknown, ProvUnknown},
+		{ProvUnknown, ProvPerProcess, ProvPerProcess},
+		{ProvPerProcess, ProvPerProcess, ProvPerProcess},
+		{ProvPerProcess, ProvShared, ProvShared},
+		{ProvShared, ProvUnknown, ProvShared},
+	}
+	for _, tc := range cases {
+		if got := tc.a.join(tc.b); got != tc.want {
+			t.Errorf("join(%s, %s) = %s, want %s", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestObjectHelpers(t *testing.T) {
+	sym := &types.Symbol{Name: "g", Kind: types.GlobalVar}
+	g := GlobalObject(sym)
+	if g.Kind != GlobalObj || g.Key() != "global:g" {
+		t.Errorf("GlobalObject: %+v", g)
+	}
+	hv := HeapViaObject(sym)
+	if hv.Name != "*g" || hv.Key() != "heap-via:*g" {
+		t.Errorf("HeapViaObject: %+v", hv)
+	}
+	ht := HeapTypeObject(types.IntType)
+	if ht.Name != "heap.int" || ht.Key() != "heap-type:heap.int" {
+		t.Errorf("heap type object: %+v", ht)
+	}
+}

@@ -1,0 +1,182 @@
+// Package core wires the complete restructurer pipeline — the paper's
+// primary contribution, end to end:
+//
+//	parse -> type check -> CFG/call graph
+//	     -> stage 1: PDV detection + per-process control flow
+//	     -> stage 2: non-concurrency (barrier phase) analysis
+//	     -> stage 3: summary side effects with regular sections
+//	     -> §3.3 heuristics -> transformations -> layout directives
+//
+// The result packages both the original and the transformed program,
+// each ready for execution on the simulation substrate.
+package core
+
+import (
+	"fmt"
+
+	"falseshare/internal/analysis/nonconc"
+	"falseshare/internal/analysis/pdv"
+	"falseshare/internal/analysis/procs"
+	"falseshare/internal/analysis/sideeffect"
+	"falseshare/internal/cfg"
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/parser"
+	"falseshare/internal/lang/types"
+	"falseshare/internal/layout"
+	"falseshare/internal/transform"
+)
+
+// Options configures the restructurer.
+type Options struct {
+	// Nprocs is the process/processor count the analysis assumes and
+	// the program will run with.
+	Nprocs int
+	// BlockSize is the coherence block size transformations target.
+	BlockSize int64
+	// NoProfiling disables static profiling for ablation (all
+	// frequency weights become 1).
+	NoProfiling bool
+	// RSDLimit overrides the per-object descriptor cap (default 10).
+	RSDLimit int
+	// Heuristics overrides transformation heuristic settings; the
+	// zero value takes the paper defaults (Nprocs and BlockSize are
+	// filled in from the options above).
+	Heuristics transform.Config
+}
+
+func (o Options) defaults() Options {
+	if o.Nprocs <= 0 {
+		o.Nprocs = 12
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 128
+	}
+	o.Heuristics.Nprocs = int64(o.Nprocs)
+	o.Heuristics.BlockSize = o.BlockSize
+	if o.NoProfiling && o.Heuristics.FreqThreshold == 0 {
+		// Without static profiling there is no frequency estimate to
+		// threshold on: every statically visible access pattern is a
+		// candidate. This is the ablation's point — the busy-scalar
+		// underestimation disappears, but so does the protection
+		// against padding cold data.
+		o.Heuristics.FreqThreshold = 1
+	}
+	return o
+}
+
+// analysisConfig builds the side-effect analysis configuration.
+func (o Options) analysisConfig() sideeffect.Config {
+	return sideeffect.Config{
+		Nprocs:          o.Nprocs,
+		StaticProfiling: !o.NoProfiling,
+		UseTripCounts:   true,
+		RSDLimit:        o.RSDLimit,
+	}
+}
+
+// Program is a checked parc program with a concrete memory layout,
+// ready for code generation and execution.
+type Program struct {
+	Source string
+	File   *ast.File
+	Info   *types.Info
+	Layout *layout.Layout
+	Dirs   *layout.Directives
+}
+
+// Result is the outcome of restructuring one program.
+type Result struct {
+	Options Options
+	// Original is the program compiled without transformations.
+	Original *Program
+	// Transformed is the compiler-restructured program.
+	Transformed *Program
+	// Plan holds all decisions (including skipped ones); Applied the
+	// decisions that survived verification.
+	Plan    *transform.Plan
+	Applied []*transform.Decision
+	// Summary, PDVs, Phases expose the analysis results for reports
+	// and tests.
+	Summary *sideeffect.Summary
+	PDVs    *pdv.Result
+	Phases  *nonconc.Result
+	Procs   *procs.Result
+}
+
+// Compile parses, checks and lays out a program without transforming
+// it (used for unoptimized and hand-optimized versions). Directives
+// may be nil.
+func Compile(src string, opt Options) (*Program, error) {
+	opt = opt.defaults()
+	file, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	lay, err := layout.Compute(info, layout.NewDirectives(opt.BlockSize), int64(opt.Nprocs))
+	if err != nil {
+		return nil, fmt.Errorf("layout: %w", err)
+	}
+	return &Program{Source: src, File: file, Info: info, Layout: lay, Dirs: lay.Dirs}, nil
+}
+
+// Restructure runs the full pipeline: it analyzes src, decides and
+// applies transformations, and returns both program versions.
+func Restructure(src string, opt Options) (*Result, error) {
+	opt = opt.defaults()
+
+	orig, err := Compile(src, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	// A second, independent tree for mutation.
+	file, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	info, err := types.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+
+	prog := cfg.BuildProgram(file)
+	pdvs := pdv.Analyze(info, int64(opt.Nprocs))
+	procRes := procs.Analyze(prog, info, pdvs, opt.Nprocs)
+	phases, err := nonconc.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	summary := sideeffect.Analyze(info, prog, pdvs, procRes, phases, opt.analysisConfig())
+
+	plan := transform.Decide(summary, info, opt.Heuristics)
+	dirs, applied, err := transform.Apply(file, info, plan, opt.BlockSize, int64(opt.Nprocs))
+	if err != nil {
+		return nil, fmt.Errorf("apply: %w", err)
+	}
+
+	// Re-check the mutated tree and lay it out with the directives.
+	newInfo, err := types.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("transformed program fails to check (transformation bug): %w\n%s", err, ast.Print(file))
+	}
+	lay, err := layout.Compute(newInfo, dirs, int64(opt.Nprocs))
+	if err != nil {
+		return nil, fmt.Errorf("layout of transformed program: %w", err)
+	}
+
+	return &Result{
+		Options:     opt,
+		Original:    orig,
+		Transformed: &Program{Source: ast.Print(file), File: file, Info: newInfo, Layout: lay, Dirs: dirs},
+		Plan:        plan,
+		Applied:     applied,
+		Summary:     summary,
+		PDVs:        pdvs,
+		Phases:      phases,
+		Procs:       procRes,
+	}, nil
+}

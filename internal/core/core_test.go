@@ -1,0 +1,424 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/lang/parser"
+	"falseshare/internal/transform"
+)
+
+func restructure(t *testing.T, src string, opt Options) *Result {
+	t.Helper()
+	res, err := Restructure(src, opt)
+	if err != nil {
+		t.Fatalf("Restructure: %v", err)
+	}
+	return res
+}
+
+func kinds(res *Result) map[transform.Kind]int {
+	m := map[transform.Kind]int{}
+	for _, d := range res.Applied {
+		m[d.Kind]++
+	}
+	return m
+}
+
+func TestGroupTransposePointVectors(t *testing.T) {
+	// Figure 2a: cell[pid] and hits[pid] grouped into records.
+	src := `
+shared int cell[16];
+shared int hits[16];
+void main() {
+    for (int i = 0; i < 1000; i = i + 1) {
+        cell[pid] = cell[pid] + 1;
+        hits[pid] = hits[pid] + 2;
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	if kinds(res)[transform.KindGroupTranspose] != 1 {
+		t.Fatalf("expected one group&transpose decision:\n%s", res.Plan)
+	}
+	out := res.Transformed.Source
+	if !strings.Contains(out, "struct GTrec1") {
+		t.Errorf("no grouped record in output:\n%s", out)
+	}
+	if !strings.Contains(out, "gtv1[pid].cell") {
+		t.Errorf("subscripts not rewritten:\n%s", out)
+	}
+	// Old declarations must be gone.
+	if strings.Contains(out, "shared int cell[16]") {
+		t.Errorf("original declaration survived:\n%s", out)
+	}
+	// The record array must be padded to the block.
+	if res.Transformed.Dirs.PadElem["gtv1"] != 64 {
+		t.Errorf("record not padded: %v", res.Transformed.Dirs.PadElem)
+	}
+	// The transformed program parses and checks (Restructure already
+	// re-checked), and its layout separates processes by >= block.
+	vl := res.Transformed.Layout.Var("gtv1")
+	if vl == nil || vl.Strides[0] < 64 {
+		t.Fatalf("record stride: %+v", vl)
+	}
+}
+
+func TestTranspose2D(t *testing.T) {
+	src := `
+shared double w[200][8];
+void main() {
+    for (int i = 0; i < 200; i = i + 1) {
+        w[i][pid] = w[i][pid] + 1.0;
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 128})
+	gt := res.Plan.ByKind(transform.KindGroupTranspose)
+	if len(gt) != 1 || gt[0].Shape != transform.ShapeTranspose {
+		t.Fatalf("expected transpose:\n%s", res.Plan)
+	}
+	out := res.Transformed.Source
+	if !strings.Contains(out, "w[pid][i]") {
+		t.Errorf("subscripts not swapped:\n%s", out)
+	}
+	if !strings.Contains(out, "w[8][200]") {
+		t.Errorf("dimensions not swapped:\n%s", out)
+	}
+	// Row stride must be padded to a block multiple.
+	vl := res.Transformed.Layout.Var("w")
+	if vl.Strides[0]%128 != 0 {
+		t.Errorf("row stride %d not block-padded", vl.Strides[0])
+	}
+}
+
+func TestCyclicReshape(t *testing.T) {
+	src := `
+shared int a[64];
+void main() {
+    for (int r = 0; r < 100; r = r + 1) {
+        for (int i = 0; i < 8; i = i + 1) {
+            a[pid + i * nprocs] = a[pid + i * nprocs] + 1;
+        }
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	gt := res.Plan.ByKind(transform.KindGroupTranspose)
+	if len(gt) != 1 || gt[0].Shape != transform.ShapeCyclic {
+		t.Fatalf("expected cyclic reshape:\n%s", res.Plan)
+	}
+	out := res.Transformed.Source
+	if !strings.Contains(out, "% 8][") {
+		t.Errorf("cyclic index rewrite missing:\n%s", out)
+	}
+	if _, err := parser.Parse(out); err != nil {
+		t.Errorf("transformed source does not parse: %v", err)
+	}
+}
+
+func TestBlockChunkAlign(t *testing.T) {
+	src := `
+shared int a[96];
+void main() {
+    int chunk;
+    int lo;
+    chunk = 96 / nprocs;
+    lo = pid * chunk;
+    for (int r = 0; r < 100; r = r + 1) {
+        for (int i = lo; i < lo + chunk; i = i + 1) {
+            a[i] = a[i] + 1;
+        }
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	gt := res.Plan.ByKind(transform.KindGroupTranspose)
+	if len(gt) != 1 || gt[0].Shape != transform.ShapeBlock {
+		t.Fatalf("expected block align:\n%s", res.Plan)
+	}
+	if gt[0].Period != 12 {
+		t.Errorf("chunk = %d, want 12", gt[0].Period)
+	}
+}
+
+func TestIndirection(t *testing.T) {
+	src := `
+struct Node {
+    int count;
+    struct Node *next;
+};
+shared struct Node *heads[16];
+void main() {
+    struct Node *n;
+    n = alloc(struct Node);
+    n->next = 0;
+    heads[pid] = n;
+    barrier;
+    for (int i = 0; i < 1000; i = i + 1) {
+        struct Node *p;
+        p = heads[pid];
+        while (p != 0) {
+            p->count = p->count + 1;
+            p = p->next;
+        }
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 128})
+	ind := res.Plan.ByKind(transform.KindIndirection)
+	if len(ind) != 1 || ind[0].Struct != "Node" {
+		t.Fatalf("expected indirection on Node:\n%s", res.Plan)
+	}
+	if len(ind[0].Fields) != 1 || ind[0].Fields[0] != "count" {
+		t.Fatalf("fields: %v (next must not be indirected)", ind[0].Fields)
+	}
+	out := res.Transformed.Source
+	if !strings.Contains(out, "int* count") && !strings.Contains(out, "int *count") {
+		t.Errorf("field not retyped:\n%s", out)
+	}
+	if !strings.Contains(out, "*(p->count) = *(p->count) + 1") &&
+		!strings.Contains(out, "*p->count") {
+		t.Errorf("accesses not dereferenced:\n%s", out)
+	}
+	if !strings.Contains(out, "allocpp(int)") {
+		t.Errorf("arena allocation not injected:\n%s", out)
+	}
+	if _, err := parser.Parse(out); err != nil {
+		t.Errorf("transformed source does not parse: %v\n%s", err, out)
+	}
+}
+
+func TestPadAlignBusyScalar(t *testing.T) {
+	src := `
+shared int busy1;
+shared int busy2;
+void main() {
+    for (int i = 0; i < 1000; i = i + 1) {
+        busy1 = busy1 + 1;
+        busy2 = busy2 + 1;
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	pads := res.Plan.ByKind(transform.KindPadAlign)
+	if len(pads) != 2 {
+		t.Fatalf("expected two pad decisions:\n%s", res.Plan)
+	}
+	// Padded scalars land in distinct blocks.
+	l := res.Transformed.Layout
+	b1, b2 := l.Var("busy1").Base, l.Var("busy2").Base
+	if b1/64 == b2/64 {
+		t.Errorf("padded scalars share a block: %x %x", b1, b2)
+	}
+	// Unoptimized layout packs them into one block.
+	lo := res.Original.Layout
+	if lo.Var("busy1").Base/64 != lo.Var("busy2").Base/64 {
+		t.Errorf("unoptimized scalars should share a block")
+	}
+}
+
+func TestLocksAlwaysPadded(t *testing.T) {
+	src := `
+shared int data;
+lock l;
+void main() {
+    acquire(l);
+    data = data + 1;
+    release(l);
+}
+`
+	res := restructure(t, src, Options{Nprocs: 4, BlockSize: 128})
+	lp := res.Plan.ByKind(transform.KindLockPad)
+	if len(lp) != 1 {
+		t.Fatalf("expected lock pad:\n%s", res.Plan)
+	}
+	if res.Transformed.Dirs.PadElem["l"] != 128 {
+		t.Errorf("lock not padded: %v", res.Transformed.Dirs.PadElem)
+	}
+}
+
+func TestLockCoAllocationAblation(t *testing.T) {
+	src := `
+shared int data;
+lock l;
+void main() {
+    acquire(l);
+    data = data + 1;
+    release(l);
+}
+`
+	res := restructure(t, src, Options{
+		Nprocs: 4, BlockSize: 128,
+		Heuristics: transform.Config{CoAllocateLocks: true},
+	})
+	if len(res.Plan.ByKind(transform.KindLockPad)) != 0 {
+		t.Fatalf("lock pad should be disabled:\n%s", res.Plan)
+	}
+}
+
+func TestColdScalarBelowThresholdSkipped(t *testing.T) {
+	// The Maxflow/Raytrace anecdote: a busy write-shared scalar whose
+	// static weight is underestimated (deep branch nesting) is not a
+	// restructuring candidate.
+	src := `
+shared int busy;
+shared int trigger;
+void main() {
+    for (int i = 0; i < 100; i = i + 1) {
+        if (trigger > 10) {
+            if (trigger > 20) {
+                if (trigger > 30) {
+                    if (trigger > 40) {
+                        busy = busy + 1;
+                    }
+                }
+            }
+        }
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	for _, d := range res.Plan.ByKind(transform.KindPadAlign) {
+		for _, g := range d.Globals {
+			if g == "busy" {
+				t.Fatalf("busy scalar should be below the profiling threshold:\n%s", res.Plan)
+			}
+		}
+	}
+	found := false
+	for _, s := range res.Plan.Skipped {
+		if strings.Contains(s, "global:busy") && strings.Contains(s, "below threshold") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("busy should be skipped with a threshold reason:\n%s", res.Plan)
+	}
+}
+
+func TestRevolvingPartitionNotTransformed(t *testing.T) {
+	// The Topopt anecdote: a dynamically revolving partition has
+	// unit-stride writes (spatial locality) and an unknown base, so
+	// neither G&T nor pad applies.
+	src := `
+shared int part[256];
+shared int cursor;
+lock l;
+void main() {
+    int b;
+    acquire(l);
+    b = cursor;
+    cursor = cursor + 32;
+    release(l);
+    for (int r = 0; r < 100; r = r + 1) {
+        for (int i = 0; i < 32; i = i + 1) {
+            part[b + i] = part[b + i] + 1;
+        }
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	for _, d := range res.Applied {
+		for _, obj := range d.Objects {
+			if obj == "global:part" {
+				t.Fatalf("part must not be transformed (%s):\n%s", d, res.Plan)
+			}
+		}
+	}
+}
+
+func TestTransformationsDisabledAblation(t *testing.T) {
+	src := `
+shared int cell[16];
+void main() {
+    for (int i = 0; i < 1000; i = i + 1) {
+        cell[pid] = cell[pid] + 1;
+    }
+}
+`
+	res := restructure(t, src, Options{
+		Nprocs: 8, BlockSize: 64,
+		Heuristics: transform.Config{DisableGroupTranspose: true},
+	})
+	if len(res.Applied) != 0 {
+		t.Fatalf("nothing should be applied:\n%s", res.Plan)
+	}
+}
+
+func TestForallEndToEnd(t *testing.T) {
+	// The HPF-style forall lowers to a cyclic distribution, which the
+	// analysis recognizes as an implicitly partitioned array and
+	// regroups per process.
+	src := `
+shared int a[96];
+void main() {
+    for (int r = 0; r < 50; r = r + 1) {
+        forall (int i = 0; i < 96) {
+            a[i] = a[i] + r;
+        }
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	gt := res.Plan.ByKind(transform.KindGroupTranspose)
+	if len(gt) != 1 || gt[0].Shape != transform.ShapeCyclic {
+		t.Fatalf("forall should yield a cyclic reshape:\n%s", res.Plan)
+	}
+	if gt[0].Period != 8 {
+		t.Errorf("period = %d, want nprocs", gt[0].Period)
+	}
+}
+
+func TestRSDLimitDegradation(t *testing.T) {
+	// Several distinct per-process access patterns to one array: with
+	// a healthy descriptor budget each stays precise and the array is
+	// transformed; with a budget of 1 the lossy merges destroy the
+	// disjointness proof and the transformation is (conservatively)
+	// dropped.
+	src := `
+shared int a[192];
+void main() {
+    for (int r = 0; r < 200; r = r + 1) {
+        a[pid] = a[pid] + 1;
+        a[pid + 64] = a[pid + 64] + 1;
+        a[pid + 128] = a[pid + 128] + 1;
+    }
+}
+`
+	healthy := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	if len(healthy.Plan.ByKind(transform.KindGroupTranspose)) == 0 {
+		t.Fatalf("healthy budget should transform:\n%s\n%s", healthy.Plan, healthy.Summary)
+	}
+	starved := restructure(t, src, Options{Nprocs: 8, BlockSize: 64, RSDLimit: 1})
+	for _, d := range starved.Applied {
+		if d.Kind == transform.KindGroupTranspose {
+			t.Fatalf("starved budget should lose the disjointness proof:\n%s", starved.Plan)
+		}
+	}
+}
+
+func TestInitPhaseDoesNotMaskComputePattern(t *testing.T) {
+	// Phase 0: process 0 initializes the whole array (shared-looking).
+	// Phase 1 (dominant): per-process writes. Non-concurrency analysis
+	// must classify by the dominant phase.
+	src := `
+shared int cell[16];
+void main() {
+    if (pid == 0) {
+        for (int i = 0; i < 16; i = i + 1) {
+            cell[i] = 0;
+        }
+    }
+    barrier;
+    for (int r = 0; r < 1000; r = r + 1) {
+        cell[pid] = cell[pid] + 1;
+    }
+}
+`
+	res := restructure(t, src, Options{Nprocs: 8, BlockSize: 64})
+	gt := res.Plan.ByKind(transform.KindGroupTranspose)
+	if len(gt) != 1 {
+		t.Fatalf("expected group&transpose despite init phase:\n%s\nsummary:\n%s", res.Plan, res.Summary)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"falseshare/internal/transform"
+	"falseshare/internal/workload"
+)
+
+// Aggregates holds the Section 1/5 headline numbers at one block
+// size, summed over the unoptimizable programs.
+type Aggregates struct {
+	Block int64
+
+	// FSFractionOfMisses: in the unoptimized programs, the fraction
+	// of all cache misses that are false-sharing misses (paper, 128B:
+	// ~70%).
+	FSFractionOfMisses float64
+	// FSEliminated: fraction of false-sharing misses the
+	// transformations remove (paper: ~80%).
+	FSEliminated float64
+	// OtherIncrease: relative increase in non-false-sharing misses
+	// (paper: ~19%).
+	OtherIncrease float64
+	// TotalMissReduction: relative reduction in total misses (paper:
+	// about half).
+	TotalMissReduction float64
+}
+
+// ComputeAggregates derives the headline numbers from fresh runs at
+// the given block size.
+func ComputeAggregates(cfg Config, block int64) (*Aggregates, error) {
+	var fsN, otherN, fsC, otherC int64
+	for _, b := range workload.Unoptimizable() {
+		procs := cfg.Fig3Procs
+		if b.Name == "topopt" && cfg.Fig3ProcsTopopt > 0 {
+			procs = cfg.Fig3ProcsTopopt
+		}
+		for _, ver := range []Version{VersionN, VersionC} {
+			prog, err := Program(b, ver, procs, cfg.Scale, block, transform.Config{})
+			if err != nil {
+				return nil, err
+			}
+			stats, err := MeasureBlocks(prog, []int64{block})
+			if err != nil {
+				return nil, err
+			}
+			st := stats[0]
+			if ver == VersionN {
+				fsN += st.FalseShare
+				otherN += st.Misses() - st.FalseShare
+			} else {
+				fsC += st.FalseShare
+				otherC += st.Misses() - st.FalseShare
+			}
+		}
+	}
+	a := &Aggregates{Block: block}
+	if fsN+otherN > 0 {
+		a.FSFractionOfMisses = float64(fsN) / float64(fsN+otherN)
+	}
+	if fsN > 0 {
+		a.FSEliminated = 1 - float64(fsC)/float64(fsN)
+	}
+	if otherN > 0 {
+		a.OtherIncrease = float64(otherC)/float64(otherN) - 1
+	}
+	if fsN+otherN > 0 {
+		a.TotalMissReduction = 1 - float64(fsC+otherC)/float64(fsN+otherN)
+	}
+	return a, nil
+}
+
+// Render formats the aggregates against the paper's claims.
+func (a *Aggregates) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Aggregate results at %d-byte blocks (paper values at 128B in parentheses):\n", a.Block)
+	fmt.Fprintf(&sb, "  false sharing as fraction of all misses (unoptimized): %5.1f%%  (paper: ~70%%)\n", 100*a.FSFractionOfMisses)
+	fmt.Fprintf(&sb, "  false-sharing misses eliminated:                        %5.1f%%  (paper: ~80%%)\n", 100*a.FSEliminated)
+	fmt.Fprintf(&sb, "  increase in other misses:                               %5.1f%%  (paper: ~19%%)\n", 100*a.OtherIncrease)
+	fmt.Fprintf(&sb, "  total miss reduction:                                   %5.1f%%  (paper: ~50%%)\n", 100*a.TotalMissReduction)
+	return sb.String()
+}

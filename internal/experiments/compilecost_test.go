@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompileCost(t *testing.T) {
+	rows, err := CompileCost(1, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.Baseline <= 0 || r.Full <= 0 {
+			t.Errorf("%s: non-positive timings %v %v", r.Program, r.Baseline, r.Full)
+		}
+		if r.Full < r.Baseline/4 {
+			t.Errorf("%s: full restructuring (%v) implausibly below front end (%v)",
+				r.Program, r.Full, r.Baseline)
+		}
+		if o := r.Overhead(); o < -0.5 || o > 1 {
+			t.Errorf("%s: overhead %f out of range", r.Program, o)
+		}
+	}
+	out := RenderCompileCost(rows)
+	if !strings.Contains(out, "total") || !strings.Contains(out, "maxflow") {
+		t.Errorf("render:\n%s", out)
+	}
+}

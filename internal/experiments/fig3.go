@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"falseshare/internal/transform"
+	"falseshare/internal/workload"
+)
+
+// Fig3Cell is one bar of Figure 3: the miss rate of one program
+// version at one block size, split into its false-sharing and other
+// components.
+type Fig3Cell struct {
+	Program string
+	Version Version
+	Block   int64
+	Procs   int
+
+	Refs        int64
+	FSMisses    int64
+	OtherMisses int64
+	FSRate      float64 // percent
+	OtherRate   float64 // percent
+}
+
+// TotalRate returns the total miss rate in percent.
+func (c Fig3Cell) TotalRate() float64 { return c.FSRate + c.OtherRate }
+
+// Figure3 regenerates the paper's Figure 3: total miss rates of the
+// unoptimized and compiler-transformed versions of the six
+// unoptimizable programs at 16- and 128-byte blocks, 12 processors
+// (Topopt: 9), with the false-sharing portion split out.
+func Figure3(cfg Config) ([]Fig3Cell, error) {
+	var out []Fig3Cell
+	for _, b := range workload.Unoptimizable() {
+		procs := cfg.Fig3Procs
+		if b.Name == "topopt" && cfg.Fig3ProcsTopopt > 0 {
+			procs = cfg.Fig3ProcsTopopt
+		}
+		for _, ver := range []Version{VersionN, VersionC} {
+			// Block size affects the C version's padding, so compile
+			// per block size.
+			for _, blk := range cfg.Fig3Blocks {
+				prog, err := Program(b, ver, procs, cfg.Scale, blk, transform.Config{})
+				if err != nil {
+					return nil, fmt.Errorf("fig3 %s/%s: %w", b.Name, ver, err)
+				}
+				stats, err := MeasureBlocks(prog, []int64{blk})
+				if err != nil {
+					return nil, fmt.Errorf("fig3 %s/%s run: %w", b.Name, ver, err)
+				}
+				st := stats[0]
+				out = append(out, Fig3Cell{
+					Program:     b.Name,
+					Version:     ver,
+					Block:       blk,
+					Procs:       procs,
+					Refs:        st.Refs,
+					FSMisses:    st.FalseShare,
+					OtherMisses: st.Misses() - st.FalseShare,
+					FSRate:      100 * st.FSRate(),
+					OtherRate:   100 * st.OtherRate(),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// RenderFigure3 formats the cells like the paper's bar chart, as an
+// ASCII table with one bar per row.
+func RenderFigure3(cells []Fig3Cell) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 3: total miss rates (%), false-sharing (FS) vs other, N=unoptimized C=compiler\n")
+	sb.WriteString(fmt.Sprintf("%-11s %-3s %5s %6s | %8s %8s %8s   %s\n",
+		"program", "ver", "block", "procs", "FS%", "other%", "total%", "bar (#=FS .=other)"))
+	for _, c := range cells {
+		bar := barString(c.FSRate, c.OtherRate)
+		sb.WriteString(fmt.Sprintf("%-11s %-3s %5d %6d | %8.3f %8.3f %8.3f   %s\n",
+			c.Program, c.Version, c.Block, c.Procs, c.FSRate, c.OtherRate, c.TotalRate(), bar))
+	}
+	return sb.String()
+}
+
+func barString(fs, other float64) string {
+	const scale = 0.5 // columns per percent
+	f := int(fs*scale + 0.5)
+	o := int(other*scale + 0.5)
+	if f > 60 {
+		f = 60
+	}
+	if o > 60 {
+		o = 60
+	}
+	return strings.Repeat("#", f) + strings.Repeat(".", o)
+}

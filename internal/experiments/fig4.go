@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"falseshare/internal/core"
+	"falseshare/internal/sim/ksr"
+	"falseshare/internal/transform"
+	"falseshare/internal/workload"
+)
+
+// Curve is one program version's speedup curve.
+type Curve struct {
+	Program  string
+	Version  Version
+	Counts   []int
+	Speedup  []float64
+	Cycles   []float64
+	MaxSpeed float64
+	MaxAt    int
+}
+
+// SpeedupCurves computes the speedup curves of every available version
+// of one benchmark over the configured processor counts, relative to
+// the uniprocessor execution of the baseline (unoptimized) version —
+// exactly as the paper's Figure 4 plots them.
+func SpeedupCurves(b *workload.Benchmark, cfg Config, machine ksr.Config) ([]Curve, error) {
+	compileVer := func(ver Version) func(p int) (*core.Program, error) {
+		return func(p int) (*core.Program, error) {
+			return Program(b, ver, p, cfg.Scale, machine.BlockSize, transform.Config{})
+		}
+	}
+
+	// Baseline: uniprocessor run of the unoptimized (or original)
+	// version.
+	baseRes, err := ksr.Sweep([]int{1}, compileVer(Baseline(b)), machine)
+	if err != nil {
+		return nil, fmt.Errorf("fig4 %s baseline: %w", b.Name, err)
+	}
+	base := baseRes[0].Cycles
+
+	var curves []Curve
+	for _, ver := range Versions(b) {
+		rs, err := ksr.Sweep(cfg.SweepCounts, compileVer(ver), machine)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 %s/%s: %w", b.Name, ver, err)
+		}
+		c := Curve{Program: b.Name, Version: ver, Counts: cfg.SweepCounts}
+		for _, r := range rs {
+			c.Cycles = append(c.Cycles, r.Cycles)
+		}
+		c.Speedup = ksr.SpeedupCurve(rs, base)
+		c.MaxSpeed, c.MaxAt = ksr.MaxSpeedup(cfg.SweepCounts, c.Speedup)
+		curves = append(curves, c)
+	}
+	return curves, nil
+}
+
+// Figure4 regenerates the paper's Figure 4: speedup curves for the
+// three representative programs (Raytrace — compiler and programmer
+// comparable; Fmm — programmer efforts bring little gain; Pverify —
+// in between).
+func Figure4(cfg Config, machine ksr.Config) (map[string][]Curve, error) {
+	out := map[string][]Curve{}
+	for _, name := range []string{"raytrace", "fmm", "pverify"} {
+		b := workload.Get(name)
+		if b == nil {
+			return nil, fmt.Errorf("fig4: %s not registered", name)
+		}
+		curves, err := SpeedupCurves(b, cfg, machine)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = curves
+	}
+	return out, nil
+}
+
+// RenderCurves formats speedup curves as aligned columns (one row per
+// processor count).
+func RenderCurves(curves []Curve) string {
+	if len(curves) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%s: speedup vs processors (base: uniprocessor unoptimized)\n", curves[0].Program))
+	sb.WriteString(fmt.Sprintf("%6s", "procs"))
+	for _, c := range curves {
+		sb.WriteString(fmt.Sprintf(" %10s", string(c.Version)))
+	}
+	sb.WriteString("\n")
+	for i, p := range curves[0].Counts {
+		sb.WriteString(fmt.Sprintf("%6d", p))
+		for _, c := range curves {
+			sb.WriteString(fmt.Sprintf(" %10.2f", c.Speedup[i]))
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("   max")
+	for _, c := range curves {
+		sb.WriteString(fmt.Sprintf(" %6.2f(%2d)", c.MaxSpeed, c.MaxAt))
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 5): Figure 3 (miss-rate bars), Table 2
+// (false-sharing reduction by transformation), Figure 4 (speedup
+// curves), Table 3 (maximum speedups), and the Section 1/5 aggregate
+// claims. Each experiment builds its programs through the restructurer
+// (never from hand-written "compiler" versions), executes them on the
+// VM, and measures them with the cache simulator and the KSR2 time
+// model.
+package experiments
+
+import (
+	"fmt"
+
+	"falseshare/internal/core"
+	"falseshare/internal/sim/cache"
+	"falseshare/internal/transform"
+	"falseshare/internal/vm"
+	"falseshare/internal/workload"
+)
+
+// Version identifies a program version as in the paper's Table 1.
+type Version string
+
+const (
+	// VersionN is the unoptimized program.
+	VersionN Version = "N"
+	// VersionC is the compiler-restructured program.
+	VersionC Version = "C"
+	// VersionP is the hand-optimized program.
+	VersionP Version = "P"
+)
+
+// Config parameterizes the experiment harness.
+type Config struct {
+	// Scale multiplies workload sizes (1 = paper-shaped experiment
+	// runs; tests use smaller).
+	Scale int
+	// Fig3Procs is the Figure 3 processor count (12 in the paper;
+	// Topopt ran on 9).
+	Fig3Procs       int
+	Fig3ProcsTopopt int
+	// Fig3Blocks are the block sizes shown in Figure 3.
+	Fig3Blocks []int64
+	// Table2Blocks are the block sizes Table 2 averages over.
+	Table2Blocks []int64
+	// SweepCounts are the processor counts for Figure 4 / Table 3.
+	SweepCounts []int
+}
+
+// DefaultConfig returns the paper's experimental setup.
+func DefaultConfig() Config {
+	return Config{
+		Scale:           1,
+		Fig3Procs:       12,
+		Fig3ProcsTopopt: 9,
+		Fig3Blocks:      []int64{16, 128},
+		Table2Blocks:    []int64{8, 16, 32, 64, 128, 256},
+		SweepCounts:     []int{1, 2, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56},
+	}
+}
+
+// Program builds one version of a benchmark, compiled and laid out for
+// the given processor count and block size. The C version is produced
+// by the restructurer; heur tweaks its heuristics (ablations).
+func Program(b *workload.Benchmark, ver Version, nprocs int, scale int, block int64, heur transform.Config) (*core.Program, error) {
+	opt := core.Options{Nprocs: nprocs, BlockSize: block, Heuristics: heur}
+	switch ver {
+	case VersionN:
+		if !b.HasN {
+			return nil, fmt.Errorf("%s has no unoptimized version", b.Name)
+		}
+		return core.Compile(b.Source(scale), opt)
+	case VersionP:
+		src := b.ProgrammerSource(scale)
+		if src == "" {
+			return nil, fmt.Errorf("%s has no programmer version", b.Name)
+		}
+		return core.Compile(src, opt)
+	case VersionC:
+		res, err := core.Restructure(b.Source(scale), opt)
+		if err != nil {
+			return nil, err
+		}
+		return res.Transformed, nil
+	}
+	return nil, fmt.Errorf("unknown version %q", ver)
+}
+
+// Baseline returns the version speedups are measured against: N when
+// it exists, else P (the original program).
+func Baseline(b *workload.Benchmark) Version {
+	if b.HasN {
+		return VersionN
+	}
+	return VersionP
+}
+
+// Versions lists the versions available for a benchmark, in N, C, P
+// order.
+func Versions(b *workload.Benchmark) []Version {
+	var out []Version
+	if b.HasN {
+		out = append(out, VersionN)
+	}
+	out = append(out, VersionC)
+	if b.HasP {
+		out = append(out, VersionP)
+	}
+	return out
+}
+
+// MeasureBlocks executes a program once and measures it with one cache
+// simulator per block size (the trace is identical across block
+// sizes, so a single execution feeds them all).
+func MeasureBlocks(prog *core.Program, blocks []int64) ([]*cache.Stats, error) {
+	nprocs := int(prog.Layout.Nprocs)
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	sims := make([]*cache.Sim, len(blocks))
+	for i, blk := range blocks {
+		sims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
+	}
+	m := vm.New(bc)
+	if err := m.Run(func(r vm.Ref) {
+		for _, s := range sims {
+			s.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
+		}
+	}); err != nil {
+		return nil, err
+	}
+	out := make([]*cache.Stats, len(sims))
+	for i, s := range sims {
+		out[i] = s.Stats()
+	}
+	return out, nil
+}

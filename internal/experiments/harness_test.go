@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/transform"
+	"falseshare/internal/workload"
+)
+
+func TestVersionsAndBaseline(t *testing.T) {
+	pv := workload.Get("pverify")
+	if got := Versions(pv); len(got) != 3 || got[0] != VersionN || got[2] != VersionP {
+		t.Errorf("pverify versions: %v", got)
+	}
+	if Baseline(pv) != VersionN {
+		t.Errorf("pverify baseline should be N")
+	}
+
+	w := workload.Get("water")
+	if got := Versions(w); len(got) != 2 || got[0] != VersionC || got[1] != VersionP {
+		t.Errorf("water versions: %v", got)
+	}
+	if Baseline(w) != VersionP {
+		t.Errorf("water baseline should be P (no N exists)")
+	}
+}
+
+func TestProgramErrors(t *testing.T) {
+	w := workload.Get("water")
+	if _, err := Program(w, VersionN, 4, 1, 128, transform.Config{}); err == nil {
+		t.Errorf("water has no N version; Program must fail")
+	}
+	mf := workload.Get("maxflow")
+	if _, err := Program(mf, VersionP, 4, 1, 128, transform.Config{}); err == nil {
+		t.Errorf("maxflow has no P version; Program must fail")
+	}
+	if _, err := Program(mf, Version("Z"), 4, 1, 128, transform.Config{}); err == nil {
+		t.Errorf("unknown version must fail")
+	}
+}
+
+func TestProgramVersionsCompile(t *testing.T) {
+	mf := workload.Get("maxflow")
+	for _, v := range Versions(mf) {
+		prog, err := Program(mf, v, 8, 1, 64, transform.Config{})
+		if err != nil {
+			t.Fatalf("maxflow %s: %v", v, err)
+		}
+		if prog.Layout.Nprocs != 8 {
+			t.Errorf("%s layout nprocs = %d", v, prog.Layout.Nprocs)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"maxflow", "N C", "12391", "Rendering of 3-dimensional scene"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q:\n%s", want, out)
+		}
+	}
+	// Water is C P only.
+	for _, r := range rows {
+		if r.Program == "water" && r.Versions != "C P" {
+			t.Errorf("water versions = %q", r.Versions)
+		}
+		if r.Program == "pverify" && r.Versions != "N C P" {
+			t.Errorf("pverify versions = %q", r.Versions)
+		}
+	}
+}

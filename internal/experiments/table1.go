@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"falseshare/internal/workload"
+)
+
+// Table1Row describes one benchmark as in the paper's Table 1.
+type Table1Row struct {
+	Program     string
+	Description string
+	PaperLines  int
+	Versions    string // e.g. "N C P"
+}
+
+// Table1 renders the workload inventory.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, b := range workload.All() {
+		vers := []string{}
+		if b.HasN {
+			vers = append(vers, "N")
+		}
+		vers = append(vers, "C")
+		if b.HasP {
+			vers = append(vers, "P")
+		}
+		rows = append(rows, Table1Row{
+			Program:     b.Name,
+			Description: b.Description,
+			PaperLines:  b.PaperLines,
+			Versions:    strings.Join(vers, " "),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 formats the rows like the paper's Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1: benchmarks (paper line counts; versions: N=unoptimized C=compiler P=programmer)\n")
+	sb.WriteString(fmt.Sprintf("%-11s %-36s %10s  %s\n", "program", "description", "lines of C", "versions"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-11s %-36s %10d  %s\n", r.Program, r.Description, r.PaperLines, r.Versions))
+	}
+	return sb.String()
+}

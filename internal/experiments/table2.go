@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"falseshare/internal/transform"
+	"falseshare/internal/workload"
+)
+
+// Table2Row is one row of Table 2: a program's total false-sharing
+// reduction and the fraction attributable to each transformation,
+// averaged over the 8-256 byte block sizes.
+type Table2Row struct {
+	Program string
+	// Total is the total false-sharing miss reduction (percent of the
+	// unoptimized program's false-sharing misses eliminated by the
+	// fully transformed version).
+	Total float64
+	// ByKind is the reduction achieved by each transformation applied
+	// alone (percent of the unoptimized false-sharing misses).
+	GroupTranspose float64
+	Indirection    float64
+	PadAlign       float64
+	Locks          float64
+}
+
+// onlyConfigs builds the heuristic configurations that enable exactly
+// one transformation, for the per-transformation attribution.
+func onlyConfigs() map[string]transform.Config {
+	all := func() transform.Config { return transform.Config{} }
+	return map[string]transform.Config{
+		"all": all(),
+		"gt": {
+			DisableIndirection: true, DisablePadAlign: true, CoAllocateLocks: true,
+		},
+		"ind": {
+			DisableGroupTranspose: true, DisablePadAlign: true, CoAllocateLocks: true,
+		},
+		"pad": {
+			DisableGroupTranspose: true, DisableIndirection: true, CoAllocateLocks: true,
+		},
+		"locks": {
+			DisableGroupTranspose: true, DisableIndirection: true, DisablePadAlign: true,
+		},
+	}
+}
+
+// Table2 regenerates the paper's Table 2 for the six unoptimizable
+// programs: the false-sharing reduction of the full restructurer and
+// of each transformation in isolation, averaged over the block sizes.
+func Table2(cfg Config) ([]Table2Row, error) {
+	variants := onlyConfigs()
+	var rows []Table2Row
+	for _, b := range workload.Unoptimizable() {
+		procs := cfg.Fig3Procs
+		if b.Name == "topopt" && cfg.Fig3ProcsTopopt > 0 {
+			procs = cfg.Fig3ProcsTopopt
+		}
+		row := Table2Row{Program: b.Name}
+
+		// Per block size: FS misses of N and of each variant.
+		reductions := map[string][]float64{}
+		for _, blk := range cfg.Table2Blocks {
+			nProg, err := Program(b, VersionN, procs, cfg.Scale, blk, transform.Config{})
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s N: %w", b.Name, err)
+			}
+			nStats, err := MeasureBlocks(nProg, []int64{blk})
+			if err != nil {
+				return nil, err
+			}
+			fsN := nStats[0].FalseShare
+			if fsN == 0 {
+				continue // no false sharing at this block size
+			}
+			for name, hc := range variants {
+				cProg, err := Program(b, VersionC, procs, cfg.Scale, blk, hc)
+				if err != nil {
+					return nil, fmt.Errorf("table2 %s %s: %w", b.Name, name, err)
+				}
+				cStats, err := MeasureBlocks(cProg, []int64{blk})
+				if err != nil {
+					return nil, err
+				}
+				red := 1 - float64(cStats[0].FalseShare)/float64(fsN)
+				if red < 0 {
+					red = 0
+				}
+				reductions[name] = append(reductions[name], red)
+			}
+		}
+		row.Total = 100 * mean(reductions["all"])
+		row.GroupTranspose = 100 * mean(reductions["gt"])
+		row.Indirection = 100 * mean(reductions["ind"])
+		row.PadAlign = 100 * mean(reductions["pad"])
+		row.Locks = 100 * mean(reductions["locks"])
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// RenderTable2 formats the rows like the paper's Table 2.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: false-sharing miss reduction by transformation (avg over 8-256 byte blocks)\n")
+	sb.WriteString(fmt.Sprintf("%-11s %8s | %10s %11s %10s %6s\n",
+		"program", "total%", "grp&trans%", "indirection%", "pad&align%", "locks%"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-11s %8.1f | %10.1f %11.1f %10.1f %6.1f\n",
+			r.Program, r.Total, r.GroupTranspose, r.Indirection, r.PadAlign, r.Locks))
+	}
+	return sb.String()
+}

@@ -1,0 +1,228 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/lang/token"
+)
+
+// buildExpr constructs (a[i] + 2) * f(x->v) by hand.
+func buildExpr() Expr {
+	return &BinaryExpr{
+		Op: token.STAR,
+		X: &BinaryExpr{
+			Op: token.PLUS,
+			X:  &IndexExpr{X: NewIdent("a"), Index: NewIdent("i")},
+			Y:  NewInt(2),
+		},
+		Y: &CallExpr{Name: "f", Args: []Expr{
+			&FieldExpr{X: NewIdent("x"), Name: "v", Arrow: true},
+		}},
+	}
+}
+
+func TestPrintExpr(t *testing.T) {
+	got := PrintExpr(buildExpr())
+	want := "(a[i] + 2) * f(x->v)"
+	if got != want {
+		t.Errorf("PrintExpr = %q, want %q", got, want)
+	}
+}
+
+func TestPrintPrecedence(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{NewBinary(token.PLUS, NewInt(1), NewBinary(token.STAR, NewInt(2), NewInt(3))), "1 + 2 * 3"},
+		{NewBinary(token.STAR, NewBinary(token.PLUS, NewInt(1), NewInt(2)), NewInt(3)), "(1 + 2) * 3"},
+		{NewBinary(token.MINUS, NewInt(1), NewBinary(token.MINUS, NewInt(2), NewInt(3))), "1 - (2 - 3)"},
+		{&UnaryExpr{Op: token.MINUS, X: NewBinary(token.PLUS, NewInt(1), NewInt(2))}, "-(1 + 2)"},
+		{&DerefExpr{X: &FieldExpr{X: NewIdent("p"), Name: "f", Arrow: true}}, "*p->f"},
+	}
+	for _, tc := range cases {
+		if got := PrintExpr(tc.e); got != tc.want {
+			t.Errorf("PrintExpr = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestPrintFloat(t *testing.T) {
+	if got := PrintExpr(&FloatLit{Value: 2}); got != "2.0" {
+		t.Errorf("float 2 printed %q, want 2.0 (must re-parse as float)", got)
+	}
+	if got := PrintExpr(&FloatLit{Value: 0.5}); got != "0.5" {
+		t.Errorf("float printed %q", got)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	e := buildExpr()
+	count := map[string]int{}
+	Walk(e, func(n Node) bool {
+		switch n.(type) {
+		case *Ident:
+			count["ident"]++
+		case *IntLit:
+			count["int"]++
+		case *BinaryExpr:
+			count["bin"]++
+		case *IndexExpr:
+			count["index"]++
+		case *CallExpr:
+			count["call"]++
+		case *FieldExpr:
+			count["field"]++
+		}
+		return true
+	})
+	want := map[string]int{"ident": 3, "int": 1, "bin": 2, "index": 1, "call": 1, "field": 1}
+	for k, v := range want {
+		if count[k] != v {
+			t.Errorf("walk counted %d %s nodes, want %d", count[k], k, v)
+		}
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	e := buildExpr()
+	idents := 0
+	Walk(e, func(n Node) bool {
+		if _, ok := n.(*CallExpr); ok {
+			return false // do not descend into the call
+		}
+		if _, ok := n.(*Ident); ok {
+			idents++
+		}
+		return true
+	})
+	if idents != 2 { // a, i but not x
+		t.Errorf("pruned walk saw %d idents, want 2", idents)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := buildExpr()
+	clone := CloneExpr(orig)
+	if PrintExpr(orig) != PrintExpr(clone) {
+		t.Fatalf("clone differs: %q vs %q", PrintExpr(orig), PrintExpr(clone))
+	}
+	// Mutate the clone; the original must not change.
+	RewriteExpr(clone, func(e Expr) Expr {
+		if id, ok := e.(*Ident); ok && id.Name == "a" {
+			return NewIdent("zzz")
+		}
+		return e
+	})
+	if strings.Contains(PrintExpr(orig), "zzz") {
+		t.Errorf("mutating the clone changed the original")
+	}
+}
+
+func TestRewriteExprBottomUp(t *testing.T) {
+	// Replace every IntLit n with n+1; the parent must see the
+	// rewritten child.
+	e := NewBinary(token.PLUS, NewInt(1), NewInt(2))
+	out := RewriteExpr(e, func(x Expr) Expr {
+		if lit, ok := x.(*IntLit); ok {
+			return NewInt(lit.Value + 1)
+		}
+		return x
+	})
+	if got := PrintExpr(out); got != "2 + 3" {
+		t.Errorf("rewrite produced %q", got)
+	}
+}
+
+func TestRewriteStmtTouchesAllExprs(t *testing.T) {
+	s := &IfStmt{
+		Cond: NewIdent("c"),
+		Then: &AssignStmt{LHS: NewIdent("x"), RHS: NewIdent("y")},
+		Else: &BlockStmt{List: []Stmt{
+			&ForStmt{
+				Init: &AssignStmt{LHS: NewIdent("i"), RHS: NewInt(0)},
+				Cond: NewBinary(token.LT, NewIdent("i"), NewIdent("n")),
+				Post: &AssignStmt{LHS: NewIdent("i"), RHS: NewBinary(token.PLUS, NewIdent("i"), NewInt(1))},
+				Body: &ExprStmt{X: &CallExpr{Name: "g", Args: []Expr{NewIdent("i")}}},
+			},
+			&ReturnStmt{X: NewIdent("r")},
+			&AcquireStmt{Lock: NewIdent("l")},
+			&ReleaseStmt{Lock: NewIdent("l")},
+		}},
+	}
+	seen := map[string]bool{}
+	RewriteStmt(s, func(e Expr) Expr {
+		if id, ok := e.(*Ident); ok {
+			seen[id.Name] = true
+		}
+		return e
+	})
+	for _, name := range []string{"c", "x", "y", "i", "n", "r", "l"} {
+		if !seen[name] {
+			t.Errorf("rewrite did not visit %q", name)
+		}
+	}
+}
+
+func TestTypeExprString(t *testing.T) {
+	cases := []struct {
+		te   TypeExpr
+		want string
+	}{
+		{TypeExpr{Name: "int"}, "int"},
+		{TypeExpr{Name: "double", Stars: 1}, "double*"},
+		{TypeExpr{Name: "Node", Struct: true, Stars: 2}, "struct Node**"},
+	}
+	for _, tc := range cases {
+		if got := tc.te.String(); got != tc.want {
+			t.Errorf("TypeExpr = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFileLookups(t *testing.T) {
+	f := &File{
+		Structs: []*StructDecl{{Name: "S"}},
+		Globals: []*VarDecl{{Name: "g", Storage: Shared, Type: &TypeExpr{Name: "int"}}},
+		Funcs:   []*FuncDecl{{Name: "main", Ret: &TypeExpr{Name: "void"}, Body: &BlockStmt{}}},
+	}
+	if f.Struct("S") == nil || f.Struct("T") != nil {
+		t.Errorf("Struct lookup wrong")
+	}
+	if f.Global("g") == nil || f.Global("h") != nil {
+		t.Errorf("Global lookup wrong")
+	}
+	if f.Func("main") == nil || f.Func("other") != nil {
+		t.Errorf("Func lookup wrong")
+	}
+}
+
+func TestStorageClassString(t *testing.T) {
+	for sc, want := range map[StorageClass]string{
+		Auto: "auto", Shared: "shared", Private: "private", Lock: "lock",
+	} {
+		if sc.String() != want {
+			t.Errorf("StorageClass(%d) = %q, want %q", sc, sc, want)
+		}
+	}
+}
+
+func TestPrintStmtForms(t *testing.T) {
+	cases := []struct {
+		s    Stmt
+		want string
+	}{
+		{&BarrierStmt{}, "barrier;"},
+		{&AcquireStmt{Lock: NewIdent("l")}, "acquire(l);"},
+		{&ReturnStmt{}, "return;"},
+		{&ReturnStmt{X: NewInt(3)}, "return 3;"},
+		{&AssignStmt{LHS: NewIdent("x"), RHS: &AllocExpr{Type: &TypeExpr{Name: "Node", Struct: true}}}, "x = alloc(struct Node);"},
+		{&AssignStmt{LHS: NewIdent("x"), RHS: &AllocExpr{Type: &TypeExpr{Name: "int"}, Count: NewInt(4), PerProc: true}}, "x = allocpp(int, 4);"},
+	}
+	for _, tc := range cases {
+		if got := PrintStmt(tc.s); got != tc.want {
+			t.Errorf("PrintStmt = %q, want %q", got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package ast
+
+// CloneExpr returns a deep copy of an expression tree. Transformations
+// use it when the same source expression must appear at several
+// rewritten sites.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		c := *x
+		return &c
+	case *IntLit:
+		c := *x
+		return &c
+	case *FloatLit:
+		c := *x
+		return &c
+	case *PidExpr:
+		c := *x
+		return &c
+	case *NprocsExpr:
+		c := *x
+		return &c
+	case *BinaryExpr:
+		c := *x
+		c.X = CloneExpr(x.X)
+		c.Y = CloneExpr(x.Y)
+		return &c
+	case *UnaryExpr:
+		c := *x
+		c.X = CloneExpr(x.X)
+		return &c
+	case *DerefExpr:
+		c := *x
+		c.X = CloneExpr(x.X)
+		return &c
+	case *IndexExpr:
+		c := *x
+		c.X = CloneExpr(x.X)
+		c.Index = CloneExpr(x.Index)
+		return &c
+	case *FieldExpr:
+		c := *x
+		c.X = CloneExpr(x.X)
+		return &c
+	case *CallExpr:
+		c := *x
+		c.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			c.Args[i] = CloneExpr(a)
+		}
+		return &c
+	case *AllocExpr:
+		c := *x
+		c.Type = x.Type.Clone()
+		if x.Count != nil {
+			c.Count = CloneExpr(x.Count)
+		}
+		return &c
+	}
+	return e
+}

@@ -1,0 +1,162 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/parser"
+)
+
+const fullSrc = `
+// A program touching every declaration and statement form.
+struct Node {
+    int v;
+    double w;
+    int tab[4];
+    struct Node *next;
+};
+
+shared int a[8][4];
+shared double d;
+private int mine;
+lock locks[4];
+
+int helper(int x, double y) {
+    if (x > 0 && y > 0.5) {
+        return x;
+    } else {
+        return 0 - x;
+    }
+}
+
+void main() {
+    int i;
+    int buf[16];
+    struct Node *p;
+    i = 0;
+    while (i < 8) {
+        for (int j = 0; j < 4; j = j + 1) {
+            a[i][j] = helper(i, d) + buf[j %% 16];
+        }
+        i = i + 1;
+    }
+    p = alloc(struct Node, 2);
+    p[0].v = 1;
+    p->w = 2.5;
+    *p->tab = 0;
+    acquire(locks[0]);
+    d = d + 1.0;
+    release(locks[0]);
+    barrier;
+    mine = pid + nprocs;
+}
+`
+
+func parseFull(t *testing.T) *ast.File {
+	t.Helper()
+	src := strings.ReplaceAll(fullSrc, "%%", "%")
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestWalkFullFile(t *testing.T) {
+	f := parseFull(t)
+	counts := map[string]int{}
+	ast.Walk(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.File:
+			counts["file"]++
+		case *ast.StructDecl:
+			counts["struct"]++
+		case *ast.FieldDecl:
+			counts["field"]++
+		case *ast.VarDecl:
+			counts["var"]++
+		case *ast.ParamDecl:
+			counts["param"]++
+		case *ast.FuncDecl:
+			counts["func"]++
+		case *ast.AllocExpr:
+			counts["alloc"]++
+		case *ast.BarrierStmt:
+			counts["barrier"]++
+		case *ast.AcquireStmt:
+			counts["acquire"]++
+		case *ast.WhileStmt:
+			counts["while"]++
+		case *ast.ForStmt:
+			counts["for"]++
+		}
+		return true
+	})
+	want := map[string]int{
+		"file": 1, "struct": 1, "field": 4, "func": 2,
+		"param": 2, "alloc": 1, "barrier": 1, "acquire": 1,
+		"while": 1, "for": 1,
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("walk saw %d %s nodes, want %d", counts[k], k, v)
+		}
+	}
+	// Locals + globals: 4 globals + locals in main.
+	if counts["var"] < 7 {
+		t.Errorf("var decls = %d", counts["var"])
+	}
+}
+
+func TestFilePos(t *testing.T) {
+	f := parseFull(t)
+	if !f.Pos().IsValid() {
+		t.Errorf("file position invalid")
+	}
+	empty := &ast.File{}
+	if empty.Pos().IsValid() {
+		t.Errorf("empty file should have zero position")
+	}
+	onlyGlobals := &ast.File{Globals: []*ast.VarDecl{{Name: "x"}}}
+	_ = onlyGlobals.Pos()
+	onlyFuncs := &ast.File{Funcs: []*ast.FuncDecl{{Name: "f"}}}
+	_ = onlyFuncs.Pos()
+}
+
+func TestPrintFullFileRoundTrip(t *testing.T) {
+	f1 := parseFull(t)
+	out1 := ast.Print(f1)
+	f2, err := parser.Parse(out1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out1)
+	}
+	out2 := ast.Print(f2)
+	if out1 != out2 {
+		t.Fatalf("print not a fixpoint:\n%s\nvs\n%s", out1, out2)
+	}
+	// Key constructs survive.
+	for _, want := range []string{
+		"struct Node {", "int tab[4];", "shared int a[8][4]",
+		"private int mine", "lock locks[4]", "alloc(struct Node, 2)",
+		"*p->tab", "acquire(locks[0]);", "barrier;", "while (i < 8)",
+	} {
+		if !strings.Contains(out1, want) {
+			t.Errorf("printed file missing %q:\n%s", want, out1)
+		}
+	}
+}
+
+func TestRewriteFileTouchesAllFunctions(t *testing.T) {
+	f := parseFull(t)
+	n := 0
+	ast.RewriteFile(f, func(e ast.Expr) ast.Expr {
+		if _, ok := e.(*ast.IntLit); ok {
+			n++
+		}
+		return e
+	})
+	if n < 10 {
+		t.Errorf("rewrite visited only %d int literals", n)
+	}
+}

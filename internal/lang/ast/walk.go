@@ -1,0 +1,203 @@
+package ast
+
+// Visitor is called by Walk for every node. If the visit function
+// returns false, the node's children are not visited.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first order, calling v
+// for each node before its children.
+func Walk(n Node, v Visitor) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *File:
+		for _, s := range x.Structs {
+			Walk(s, v)
+		}
+		for _, g := range x.Globals {
+			Walk(g, v)
+		}
+		for _, f := range x.Funcs {
+			Walk(f, v)
+		}
+	case *StructDecl:
+		for _, f := range x.Fields {
+			Walk(f, v)
+		}
+	case *FieldDecl:
+		for _, d := range x.Dims {
+			Walk(d, v)
+		}
+	case *VarDecl:
+		for _, d := range x.Dims {
+			Walk(d, v)
+		}
+	case *ParamDecl:
+		// leaf
+	case *FuncDecl:
+		for _, p := range x.Params {
+			Walk(p, v)
+		}
+		Walk(x.Body, v)
+	case *BlockStmt:
+		for _, s := range x.List {
+			Walk(s, v)
+		}
+	case *DeclStmt:
+		Walk(x.Decl, v)
+		if x.Init != nil {
+			Walk(x.Init, v)
+		}
+	case *AssignStmt:
+		Walk(x.LHS, v)
+		Walk(x.RHS, v)
+	case *ExprStmt:
+		Walk(x.X, v)
+	case *IfStmt:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		if x.Else != nil {
+			Walk(x.Else, v)
+		}
+	case *WhileStmt:
+		Walk(x.Cond, v)
+		Walk(x.Body, v)
+	case *ForStmt:
+		if x.Init != nil {
+			Walk(x.Init, v)
+		}
+		if x.Cond != nil {
+			Walk(x.Cond, v)
+		}
+		if x.Post != nil {
+			Walk(x.Post, v)
+		}
+		Walk(x.Body, v)
+	case *ReturnStmt:
+		if x.X != nil {
+			Walk(x.X, v)
+		}
+	case *BarrierStmt:
+		// leaf
+	case *AcquireStmt:
+		Walk(x.Lock, v)
+	case *ReleaseStmt:
+		Walk(x.Lock, v)
+	case *BinaryExpr:
+		Walk(x.X, v)
+		Walk(x.Y, v)
+	case *UnaryExpr:
+		Walk(x.X, v)
+	case *DerefExpr:
+		Walk(x.X, v)
+	case *IndexExpr:
+		Walk(x.X, v)
+		Walk(x.Index, v)
+	case *FieldExpr:
+		Walk(x.X, v)
+	case *CallExpr:
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	case *AllocExpr:
+		if x.Count != nil {
+			Walk(x.Count, v)
+		}
+	case *Ident, *IntLit, *FloatLit, *PidExpr, *NprocsExpr:
+		// leaves
+	}
+}
+
+// RewriteExpr applies f bottom-up to every expression in the tree
+// rooted at e and returns the (possibly replaced) expression. Children
+// are rewritten before parents so f sees already-rewritten subtrees.
+func RewriteExpr(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		x.X = RewriteExpr(x.X, f)
+		x.Y = RewriteExpr(x.Y, f)
+	case *UnaryExpr:
+		x.X = RewriteExpr(x.X, f)
+	case *DerefExpr:
+		x.X = RewriteExpr(x.X, f)
+	case *IndexExpr:
+		x.X = RewriteExpr(x.X, f)
+		x.Index = RewriteExpr(x.Index, f)
+	case *FieldExpr:
+		x.X = RewriteExpr(x.X, f)
+	case *CallExpr:
+		for i := range x.Args {
+			x.Args[i] = RewriteExpr(x.Args[i], f)
+		}
+	case *AllocExpr:
+		if x.Count != nil {
+			x.Count = RewriteExpr(x.Count, f)
+		}
+	}
+	return f(e)
+}
+
+// RewriteStmt applies fe to every expression under s (bottom-up) and
+// returns s. It does not replace statements themselves.
+func RewriteStmt(s Stmt, fe func(Expr) Expr) Stmt {
+	if s == nil {
+		return nil
+	}
+	switch x := s.(type) {
+	case *BlockStmt:
+		for i := range x.List {
+			x.List[i] = RewriteStmt(x.List[i], fe)
+		}
+	case *DeclStmt:
+		if x.Init != nil {
+			x.Init = RewriteExpr(x.Init, fe)
+		}
+	case *AssignStmt:
+		x.LHS = RewriteExpr(x.LHS, fe)
+		x.RHS = RewriteExpr(x.RHS, fe)
+	case *ExprStmt:
+		x.X = RewriteExpr(x.X, fe)
+	case *IfStmt:
+		x.Cond = RewriteExpr(x.Cond, fe)
+		x.Then = RewriteStmt(x.Then, fe)
+		if x.Else != nil {
+			x.Else = RewriteStmt(x.Else, fe)
+		}
+	case *WhileStmt:
+		x.Cond = RewriteExpr(x.Cond, fe)
+		x.Body = RewriteStmt(x.Body, fe)
+	case *ForStmt:
+		if x.Init != nil {
+			x.Init = RewriteStmt(x.Init, fe)
+		}
+		if x.Cond != nil {
+			x.Cond = RewriteExpr(x.Cond, fe)
+		}
+		if x.Post != nil {
+			x.Post = RewriteStmt(x.Post, fe)
+		}
+		x.Body = RewriteStmt(x.Body, fe)
+	case *ReturnStmt:
+		if x.X != nil {
+			x.X = RewriteExpr(x.X, fe)
+		}
+	case *AcquireStmt:
+		x.Lock = RewriteExpr(x.Lock, fe)
+	case *ReleaseStmt:
+		x.Lock = RewriteExpr(x.Lock, fe)
+	case *BarrierStmt:
+		// leaf
+	}
+	return s
+}
+
+// RewriteFile applies fe to every expression in every function body.
+func RewriteFile(f *File, fe func(Expr) Expr) {
+	for _, fn := range f.Funcs {
+		RewriteStmt(fn.Body, fe)
+	}
+}

@@ -1,0 +1,46 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/lang/ast"
+)
+
+func TestForallLowering(t *testing.T) {
+	src := `
+shared int a[64];
+void main() {
+    forall (int i = 0; i < 64) {
+        a[i] = a[i] + 1;
+    }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := ast.Print(f)
+	// The lowered form: cyclic distribution plus a trailing barrier.
+	for _, want := range []string{
+		"for (int i = 0 + pid; i < 64; i = i + nprocs)",
+		"barrier;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("lowered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestForallErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`void main() { forall (double d = 0; d < 4) { } }`, "plain int"},
+		{`void main() { forall (int i = 0; j < 4) { } }`, "induction variable"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q): err = %v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}

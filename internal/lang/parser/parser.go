@@ -1,0 +1,602 @@
+// Package parser implements a recursive-descent parser for parc.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/lexer"
+	"falseshare/internal/lang/token"
+)
+
+// Error is a syntax error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects parse errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", l[0], len(l)-1)
+}
+
+// Parse parses a complete parc translation unit.
+func Parse(src string) (*ast.File, error) {
+	p := newParser(src)
+	f := p.file()
+	if len(p.errs) > 0 {
+		return f, p.errs
+	}
+	return f, nil
+}
+
+// ParseExpr parses a single expression (used by tests and tools).
+func ParseExpr(src string) (ast.Expr, error) {
+	p := newParser(src)
+	e := p.expr()
+	p.expect(token.EOF)
+	if len(p.errs) > 0 {
+		return e, p.errs
+	}
+	return e, nil
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	tok  token.Token
+	next token.Token
+	errs ErrorList
+}
+
+func newParser(src string) *parser {
+	p := &parser{lex: lexer.New(src)}
+	p.tok = p.lex.Next()
+	p.next = p.lex.Next()
+	return p
+}
+
+func (p *parser) advance() {
+	p.tok = p.next
+	p.next = p.lex.Next()
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	if len(p.errs) < 20 {
+		p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		// Do not consume: give the caller's follow-set a chance.
+		if k == token.SEMI || k == token.RPAREN || k == token.RBRACE || k == token.RBRACKET {
+			return t
+		}
+	}
+	p.advance()
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.tok.Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// atType reports whether the current token starts a type.
+func (p *parser) atType() bool {
+	switch p.tok.Kind {
+	case token.KW_INT, token.KW_DOUBLE, token.KW_VOID, token.KW_STRUCT:
+		return true
+	}
+	return false
+}
+
+// typeExpr parses: ("int"|"double"|"void"|"struct" IDENT) "*"*
+func (p *parser) typeExpr() *ast.TypeExpr {
+	t := &ast.TypeExpr{P: p.tok.Pos}
+	switch p.tok.Kind {
+	case token.KW_INT:
+		t.Name = "int"
+		p.advance()
+	case token.KW_DOUBLE:
+		t.Name = "double"
+		p.advance()
+	case token.KW_VOID:
+		t.Name = "void"
+		p.advance()
+	case token.KW_STRUCT:
+		p.advance()
+		t.Struct = true
+		t.Name = p.expect(token.IDENT).Lit
+	default:
+		p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+		p.advance()
+		t.Name = "int"
+	}
+	for p.accept(token.STAR) {
+		t.Stars++
+	}
+	return t
+}
+
+// file parses the translation unit.
+func (p *parser) file() *ast.File {
+	f := &ast.File{}
+	for !p.at(token.EOF) {
+		start := p.tok
+		switch p.tok.Kind {
+		case token.KW_STRUCT:
+			// Either a struct declaration or a file-scope variable (or
+			// function) of struct type. Commit to "struct IDENT" and
+			// then branch on the next token.
+			pos := p.tok.Pos
+			p.advance()
+			name := p.expect(token.IDENT).Lit
+			if p.at(token.LBRACE) {
+				f.Structs = append(f.Structs, p.structDeclRest(pos, name))
+				continue
+			}
+			typ := &ast.TypeExpr{P: pos, Name: name, Struct: true}
+			for p.accept(token.STAR) {
+				typ.Stars++
+			}
+			vname := p.expect(token.IDENT).Lit
+			if p.at(token.LPAREN) {
+				f.Funcs = append(f.Funcs, p.funcRest(pos, typ, vname))
+				continue
+			}
+			p.errorf(pos, "file-scope variable %q needs an explicit storage class (shared or private)", vname)
+			d := &ast.VarDecl{P: pos, Storage: ast.Shared, Type: typ, Name: vname}
+			for p.accept(token.LBRACKET) {
+				d.Dims = append(d.Dims, p.expr())
+				p.expect(token.RBRACKET)
+			}
+			p.expect(token.SEMI)
+			f.Globals = append(f.Globals, d)
+		case token.KW_SHARED, token.KW_PRIVATE, token.KW_LOCK:
+			p.global(f)
+		case token.KW_INT, token.KW_DOUBLE, token.KW_VOID:
+			p.globalOrFunc(f)
+		default:
+			p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+			p.advance()
+		}
+		if p.tok.Pos == start.Pos && p.tok.Kind == start.Kind && !p.at(token.EOF) {
+			// No progress: skip the token to guarantee termination.
+			p.advance()
+		}
+	}
+	return f
+}
+
+// structDeclRest parses a struct declaration body after "struct NAME".
+func (p *parser) structDeclRest(pos token.Pos, name string) *ast.StructDecl {
+	p.expect(token.LBRACE)
+	d := &ast.StructDecl{P: pos, Name: name}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		ft := p.typeExpr()
+		fname := p.expect(token.IDENT).Lit
+		fd := &ast.FieldDecl{P: ft.P, Type: ft, Name: fname}
+		for p.accept(token.LBRACKET) {
+			fd.Dims = append(fd.Dims, p.expr())
+			p.expect(token.RBRACKET)
+		}
+		p.expect(token.SEMI)
+		d.Fields = append(d.Fields, fd)
+	}
+	p.expect(token.RBRACE)
+	p.expect(token.SEMI)
+	return d
+}
+
+// global parses a file-scope variable with an explicit storage class,
+// or a lock declaration.
+func (p *parser) global(f *ast.File) {
+	pos := p.tok.Pos
+	var storage ast.StorageClass
+	switch p.tok.Kind {
+	case token.KW_SHARED:
+		storage = ast.Shared
+		p.advance()
+	case token.KW_PRIVATE:
+		storage = ast.Private
+		p.advance()
+	case token.KW_LOCK:
+		p.advance()
+		name := p.expect(token.IDENT).Lit
+		d := &ast.VarDecl{P: pos, Storage: ast.Lock, Name: name}
+		for p.accept(token.LBRACKET) {
+			d.Dims = append(d.Dims, p.expr())
+			p.expect(token.RBRACKET)
+		}
+		p.expect(token.SEMI)
+		f.Globals = append(f.Globals, d)
+		return
+	default:
+		storage = ast.Shared
+	}
+	typ := p.typeExpr()
+	name := p.expect(token.IDENT).Lit
+	d := &ast.VarDecl{P: pos, Storage: storage, Type: typ, Name: name}
+	for p.accept(token.LBRACKET) {
+		d.Dims = append(d.Dims, p.expr())
+		p.expect(token.RBRACKET)
+	}
+	p.expect(token.SEMI)
+	f.Globals = append(f.Globals, d)
+}
+
+// globalOrFunc parses a declaration that begins with a bare type:
+// either a function definition or an (implicitly shared) global.
+func (p *parser) globalOrFunc(f *ast.File) {
+	pos := p.tok.Pos
+	typ := p.typeExpr()
+	name := p.expect(token.IDENT).Lit
+	if p.at(token.LPAREN) {
+		f.Funcs = append(f.Funcs, p.funcRest(pos, typ, name))
+		return
+	}
+	// A file-scope variable without a storage class is an error in
+	// parc (the programmer must say shared or private), but we parse
+	// it as shared and let the type checker report it.
+	d := &ast.VarDecl{P: pos, Storage: ast.Shared, Type: typ, Name: name}
+	for p.accept(token.LBRACKET) {
+		d.Dims = append(d.Dims, p.expr())
+		p.expect(token.RBRACKET)
+	}
+	p.expect(token.SEMI)
+	p.errorf(pos, "file-scope variable %q needs an explicit storage class (shared or private)", name)
+	f.Globals = append(f.Globals, d)
+}
+
+func (p *parser) funcRest(pos token.Pos, ret *ast.TypeExpr, name string) *ast.FuncDecl {
+	fn := &ast.FuncDecl{P: pos, Ret: ret, Name: name}
+	p.expect(token.LPAREN)
+	for !p.at(token.RPAREN) && !p.at(token.EOF) {
+		if len(fn.Params) > 0 {
+			p.expect(token.COMMA)
+		}
+		if p.at(token.KW_VOID) && p.next.Kind == token.RPAREN {
+			p.advance()
+			break
+		}
+		pt := p.typeExpr()
+		pname := p.expect(token.IDENT).Lit
+		fn.Params = append(fn.Params, &ast.ParamDecl{P: pt.P, Type: pt, Name: pname})
+	}
+	p.expect(token.RPAREN)
+	fn.Body = p.block()
+	return fn
+}
+
+func (p *parser) block() *ast.BlockStmt {
+	pos := p.expect(token.LBRACE).Pos
+	b := &ast.BlockStmt{P: pos}
+	for !p.at(token.RBRACE) && !p.at(token.EOF) {
+		before := p.tok
+		b.List = append(b.List, p.stmt())
+		if p.tok.Pos == before.Pos && p.tok.Kind == before.Kind && !p.at(token.EOF) {
+			p.advance()
+		}
+	}
+	p.expect(token.RBRACE)
+	return b
+}
+
+func (p *parser) stmt() ast.Stmt {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.LBRACE:
+		return p.block()
+	case token.KW_IF:
+		p.advance()
+		p.expect(token.LPAREN)
+		cond := p.expr()
+		p.expect(token.RPAREN)
+		then := p.stmt()
+		var els ast.Stmt
+		if p.accept(token.KW_ELSE) {
+			els = p.stmt()
+		}
+		return &ast.IfStmt{P: pos, Cond: cond, Then: then, Else: els}
+	case token.KW_WHILE:
+		p.advance()
+		p.expect(token.LPAREN)
+		cond := p.expr()
+		p.expect(token.RPAREN)
+		body := p.stmt()
+		return &ast.WhileStmt{P: pos, Cond: cond, Body: body}
+	case token.KW_FOR:
+		return p.forStmt()
+	case token.KW_FORALL:
+		return p.forallStmt()
+	case token.KW_RETURN:
+		p.advance()
+		var x ast.Expr
+		if !p.at(token.SEMI) {
+			x = p.expr()
+		}
+		p.expect(token.SEMI)
+		return &ast.ReturnStmt{P: pos, X: x}
+	case token.KW_BARRIER:
+		p.advance()
+		p.expect(token.SEMI)
+		return &ast.BarrierStmt{P: pos}
+	case token.KW_ACQUIRE:
+		p.advance()
+		p.expect(token.LPAREN)
+		l := p.expr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.AcquireStmt{P: pos, Lock: l}
+	case token.KW_RELEASE:
+		p.advance()
+		p.expect(token.LPAREN)
+		l := p.expr()
+		p.expect(token.RPAREN)
+		p.expect(token.SEMI)
+		return &ast.ReleaseStmt{P: pos, Lock: l}
+	case token.KW_INT, token.KW_DOUBLE, token.KW_STRUCT:
+		return p.declStmt()
+	case token.SEMI:
+		p.advance()
+		return &ast.BlockStmt{P: pos} // empty statement
+	default:
+		return p.simpleStmt(true)
+	}
+}
+
+// declStmt parses a local declaration: type name dims (= expr)? ;
+func (p *parser) declStmt() ast.Stmt {
+	pos := p.tok.Pos
+	typ := p.typeExpr()
+	name := p.expect(token.IDENT).Lit
+	d := &ast.VarDecl{P: pos, Storage: ast.Auto, Type: typ, Name: name}
+	for p.accept(token.LBRACKET) {
+		d.Dims = append(d.Dims, p.expr())
+		p.expect(token.RBRACKET)
+	}
+	ds := &ast.DeclStmt{P: pos, Decl: d}
+	if p.accept(token.ASSIGN) {
+		ds.Init = p.expr()
+	}
+	p.expect(token.SEMI)
+	return ds
+}
+
+// simpleStmt parses an assignment or expression statement. When
+// wantSemi is true the trailing semicolon is consumed.
+func (p *parser) simpleStmt(wantSemi bool) ast.Stmt {
+	pos := p.tok.Pos
+	lhs := p.expr()
+	var s ast.Stmt
+	if p.accept(token.ASSIGN) {
+		rhs := p.expr()
+		s = &ast.AssignStmt{P: pos, LHS: lhs, RHS: rhs}
+	} else {
+		s = &ast.ExprStmt{P: pos, X: lhs}
+	}
+	if wantSemi {
+		p.expect(token.SEMI)
+	}
+	return s
+}
+
+func (p *parser) forStmt() ast.Stmt {
+	pos := p.expect(token.KW_FOR).Pos
+	p.expect(token.LPAREN)
+	var init ast.Stmt
+	if !p.at(token.SEMI) {
+		if p.atType() {
+			init = p.declStmt() // consumes the semicolon
+		} else {
+			init = p.simpleStmt(false)
+			p.expect(token.SEMI)
+		}
+	} else {
+		p.expect(token.SEMI)
+	}
+	var cond ast.Expr
+	if !p.at(token.SEMI) {
+		cond = p.expr()
+	}
+	p.expect(token.SEMI)
+	var post ast.Stmt
+	if !p.at(token.RPAREN) {
+		post = p.simpleStmt(false)
+	}
+	p.expect(token.RPAREN)
+	body := p.stmt()
+	return &ast.ForStmt{P: pos, Init: init, Cond: cond, Post: post, Body: body}
+}
+
+// forallStmt parses and lowers the HPF-style distributed loop the
+// paper's §2 footnote maps onto the fork/join model:
+//
+//	forall (int i = LO; i < HI) S
+//
+// becomes
+//
+//	{ for (int i = LO + pid; i < HI; i = i + nprocs) S  barrier; }
+//
+// The induction variable acts as a PDV-parameterized subscript (its
+// values partition cyclically across processes) and the implicit
+// trailing barrier separates the forall from subsequent phases —
+// exactly HPF FORALL semantics. Like barriers, foralls are only legal
+// in main (the non-concurrency analysis enforces it).
+func (p *parser) forallStmt() ast.Stmt {
+	pos := p.expect(token.KW_FORALL).Pos
+	p.expect(token.LPAREN)
+	typ := p.typeExpr()
+	if typ.Name != "int" || typ.Stars != 0 || typ.Struct {
+		p.errorf(pos, "forall induction variable must be a plain int")
+	}
+	name := p.expect(token.IDENT).Lit
+	p.expect(token.ASSIGN)
+	lo := p.expr()
+	p.expect(token.SEMI)
+	// The bound must have the form "name < expr".
+	condPos := p.tok.Pos
+	id := p.expect(token.IDENT)
+	if id.Lit != name {
+		p.errorf(condPos, "forall bound must test the induction variable %q", name)
+	}
+	p.expect(token.LT)
+	hi := p.expr()
+	p.expect(token.RPAREN)
+	body := p.stmt()
+
+	decl := &ast.VarDecl{P: pos, Storage: ast.Auto, Type: &ast.TypeExpr{P: pos, Name: "int"}, Name: name}
+	loop := &ast.ForStmt{
+		P: pos,
+		Init: &ast.DeclStmt{P: pos, Decl: decl,
+			Init: &ast.BinaryExpr{P: pos, Op: token.PLUS, X: lo, Y: &ast.PidExpr{P: pos}}},
+		Cond: &ast.BinaryExpr{P: condPos, Op: token.LT, X: &ast.Ident{P: condPos, Name: name}, Y: hi},
+		Post: &ast.AssignStmt{P: pos, LHS: &ast.Ident{P: pos, Name: name},
+			RHS: &ast.BinaryExpr{P: pos, Op: token.PLUS, X: &ast.Ident{P: pos, Name: name}, Y: &ast.NprocsExpr{P: pos}}},
+		Body: body,
+	}
+	return &ast.BlockStmt{P: pos, List: []ast.Stmt{loop, &ast.BarrierStmt{P: pos}}}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) expr() ast.Expr { return p.binExpr(1) }
+
+func (p *parser) binExpr(minPrec int) ast.Expr {
+	lhs := p.unary()
+	for {
+		prec := p.tok.Kind.Precedence()
+		if prec < minPrec {
+			return lhs
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.advance()
+		rhs := p.binExpr(prec + 1)
+		lhs = &ast.BinaryExpr{P: pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) unary() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.MINUS:
+		p.advance()
+		return &ast.UnaryExpr{P: pos, Op: token.MINUS, X: p.unary()}
+	case token.NOT:
+		p.advance()
+		return &ast.UnaryExpr{P: pos, Op: token.NOT, X: p.unary()}
+	case token.STAR:
+		p.advance()
+		return &ast.DerefExpr{P: pos, X: p.unary()}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() ast.Expr {
+	x := p.primary()
+	for {
+		pos := p.tok.Pos
+		switch p.tok.Kind {
+		case token.LBRACKET:
+			p.advance()
+			idx := p.expr()
+			p.expect(token.RBRACKET)
+			x = &ast.IndexExpr{P: pos, X: x, Index: idx}
+		case token.DOT:
+			p.advance()
+			name := p.expect(token.IDENT).Lit
+			x = &ast.FieldExpr{P: pos, X: x, Name: name}
+		case token.ARROW:
+			p.advance()
+			name := p.expect(token.IDENT).Lit
+			x = &ast.FieldExpr{P: pos, X: x, Name: name, Arrow: true}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) primary() ast.Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case token.INTLIT:
+		lit := p.tok.Lit
+		p.advance()
+		v, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			p.errorf(pos, "invalid integer literal %q", lit)
+		}
+		return &ast.IntLit{P: pos, Value: v}
+	case token.FLOATLIT:
+		lit := p.tok.Lit
+		p.advance()
+		v, err := strconv.ParseFloat(lit, 64)
+		if err != nil {
+			p.errorf(pos, "invalid float literal %q", lit)
+		}
+		return &ast.FloatLit{P: pos, Value: v}
+	case token.KW_PID:
+		p.advance()
+		return &ast.PidExpr{P: pos}
+	case token.KW_NPROCS:
+		p.advance()
+		return &ast.NprocsExpr{P: pos}
+	case token.KW_ALLOC, token.KW_ALLOCPP:
+		perProc := p.tok.Kind == token.KW_ALLOCPP
+		p.advance()
+		p.expect(token.LPAREN)
+		t := p.typeExpr()
+		a := &ast.AllocExpr{P: pos, Type: t, PerProc: perProc}
+		if p.accept(token.COMMA) {
+			a.Count = p.expr()
+		}
+		p.expect(token.RPAREN)
+		return a
+	case token.IDENT:
+		name := p.tok.Lit
+		p.advance()
+		if p.at(token.LPAREN) {
+			p.advance()
+			c := &ast.CallExpr{P: pos, Name: name}
+			for !p.at(token.RPAREN) && !p.at(token.EOF) {
+				if len(c.Args) > 0 {
+					p.expect(token.COMMA)
+				}
+				c.Args = append(c.Args, p.expr())
+			}
+			p.expect(token.RPAREN)
+			return c
+		}
+		return &ast.Ident{P: pos, Name: name}
+	case token.LPAREN:
+		p.advance()
+		e := p.expr()
+		p.expect(token.RPAREN)
+		return e
+	default:
+		p.errorf(pos, "expected expression, found %s", p.tok)
+		p.advance()
+		return &ast.IntLit{P: pos, Value: 0}
+	}
+}

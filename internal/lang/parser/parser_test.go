@@ -1,0 +1,145 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/lang/ast"
+)
+
+const sample = `
+// Per-process histogram with a lock-protected global sum.
+struct Node {
+    int value;
+    int count;
+    struct Node *next;
+};
+
+shared int hist[64];
+shared double sum;
+shared struct Node *head;
+private int myid;
+lock l;
+lock cells[16];
+
+int bump(int i) {
+    hist[i] = hist[i] + 1;
+    return hist[i];
+}
+
+void main() {
+    int i;
+    myid = pid;
+    for (i = myid; i < 64; i = i + nprocs) {
+        bump(i);
+    }
+    barrier;
+    if (pid == 0) {
+        struct Node *p;
+        p = alloc(struct Node);
+        p->value = 5;
+        head = p;
+    }
+    barrier;
+    acquire(l);
+    sum = sum + 1.5;
+    release(l);
+    while (head != 0) {
+        head = head->next;
+    }
+}
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	if len(f.Structs) != 1 || f.Structs[0].Name != "Node" {
+		t.Fatalf("structs: %+v", f.Structs)
+	}
+	if len(f.Globals) != 6 {
+		t.Fatalf("globals: got %d, want 6", len(f.Globals))
+	}
+	if got := f.Global("l").Storage; got != ast.Lock {
+		t.Errorf("lock storage: %v", got)
+	}
+	if got := f.Global("hist").Storage; got != ast.Shared {
+		t.Errorf("hist storage: %v", got)
+	}
+	if got := f.Global("myid").Storage; got != ast.Private {
+		t.Errorf("myid storage: %v", got)
+	}
+	if f.Func("main") == nil || f.Func("bump") == nil {
+		t.Fatalf("missing functions")
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	f1, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("parse 1: %v", err)
+	}
+	src2 := ast.Print(f1)
+	f2, err := Parse(src2)
+	if err != nil {
+		t.Fatalf("parse of printed output failed: %v\n%s", err, src2)
+	}
+	src3 := ast.Print(f2)
+	if src2 != src3 {
+		t.Fatalf("print not idempotent:\n--- first ---\n%s\n--- second ---\n%s", src2, src3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"int g;", "storage class"},
+		{"void main() { x = ; }", "expected expression"},
+		{"void main() { if x { } }", "expected ("},
+		{"shared int a[;", "expected expression"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q): error %q does not contain %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseExpr("1 + 2 * 3 < 4 && 5 == 6")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	got := ast.PrintExpr(e)
+	want := "1 + 2 * 3 < 4 && 5 == 6"
+	if got != want {
+		t.Errorf("printed %q, want %q", got, want)
+	}
+	// The top node must be &&.
+	b, ok := e.(*ast.BinaryExpr)
+	if !ok || b.Op.String() != "&&" {
+		t.Errorf("top operator: %v", e)
+	}
+}
+
+func TestForLoopForms(t *testing.T) {
+	src := `
+void main() {
+    int s;
+    for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+    for (; s > 0; ) { s = s - 1; }
+    for (s = 3; ; s = s - 1) { if (s == 0) { return; } }
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}

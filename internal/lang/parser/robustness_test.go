@@ -1,0 +1,99 @@
+package parser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"falseshare/internal/lang/ast"
+)
+
+// A pool of program fragments used to build random mutations.
+var fragments = []string{
+	"shared int a[64];", "lock l;", "struct S { int v; };",
+	"void main() {", "}", "{", "if (pid == 0)", "else", "while (a[0] > 0)",
+	"for (int i = 0; i < 8; i = i + 1)", "a[i] = a[i] + 1;", "barrier;",
+	"acquire(l);", "release(l);", "return;", "int x;", "x = alloc(int, 4);",
+	"forall (int i = 0; i < 8)", "-> . , ; ( ) [ ]", "1.5 + * / %", "==",
+}
+
+// Property: the parser neither panics nor loops forever on arbitrary
+// concatenations of token fragments — it either parses or reports
+// errors.
+func TestParserTotalOnFragmentSoup(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 1
+		src := ""
+		for i := 0; i < n; i++ {
+			src += fragments[r.Intn(len(fragments))] + "\n"
+		}
+		done := make(chan bool, 1)
+		go func() {
+			defer func() {
+				if recover() != nil {
+					done <- false
+					return
+				}
+				done <- true
+			}()
+			Parse(src)
+		}()
+		return <-done
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: valid programs survive a print -> parse -> print fixpoint.
+func TestPrintParseFixpointOnWorkloadShapes(t *testing.T) {
+	srcs := []string{
+		`
+struct T { int a; double b; struct T *n; };
+shared struct T *q[64];
+shared int v[8][16];
+lock l;
+void f(int x) { if (x > 0) { f(x - 1); } }
+void main() {
+    struct T *p;
+    p = alloc(struct T, 3);
+    p[0].a = 1;
+    q[pid] = p;
+    v[pid][pid] = v[pid][pid] + 1;
+    acquire(l);
+    release(l);
+    barrier;
+    f(3);
+}
+`,
+		`
+shared double m[4][4];
+void main() {
+    forall (int i = 0; i < 4) {
+        m[i][i] = 1.0;
+    }
+    while (m[0][0] > 2.0) {
+        m[0][0] = m[0][0] - 1.0;
+    }
+}
+`,
+	}
+	for _, src := range srcs {
+		f1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		p1 := astPrint(f1)
+		f2, err := Parse(p1)
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, p1)
+		}
+		p2 := astPrint(f2)
+		if p1 != p2 {
+			t.Errorf("fixpoint violated:\n--- p1 ---\n%s\n--- p2 ---\n%s", p1, p2)
+		}
+	}
+}
+
+func astPrint(f *ast.File) string { return ast.Print(f) }

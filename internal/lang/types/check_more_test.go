@@ -1,0 +1,257 @@
+package types
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPointerRules(t *testing.T) {
+	good := `
+struct Node { int v; struct Node *next; };
+shared struct Node *head;
+void main() {
+    struct Node *p;
+    p = alloc(struct Node);
+    p->next = head;
+    head = p;
+    p = 0;
+    if (p == 0) { p = head; }
+    if (p != head) { return; }
+}
+`
+	if _, err := Check(mustParse(t, good)); err != nil {
+		t.Fatalf("good pointer program rejected: %v", err)
+	}
+
+	bad := []struct{ name, src, want string }{
+		{"ptr plus", `
+shared int *p;
+void main() { int *q; q = p + 1; }`, "pointer arithmetic"},
+		{"mixed ptr cmp", `
+struct A { int v; };
+struct B { int v; };
+shared struct A *a;
+shared struct B *bb;
+void main() { if (a == bb) { } }`, "pointer comparison"},
+		{"ptr assign mismatch", `
+struct A { int v; };
+struct B { int v; };
+shared struct A *a;
+shared struct B *bb;
+void main() { a = bb; }`, "cannot assign"},
+		{"nonzero int to ptr", `
+shared int *p;
+void main() { p = 5; }`, "cannot assign"},
+		{"ptr less-than", `
+shared int *p;
+shared int *q;
+void main() { if (p < q) { } }`, "numeric operands"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Check(mustParse(t, tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestStructRules(t *testing.T) {
+	bad := []struct{ name, src, want string }{
+		{"embed by value", `
+struct A { int v; };
+struct B { struct A a; };
+void main() { }`, "embed structs by value"},
+		{"dup field", `
+struct A { int v; int v; };
+void main() { }`, "duplicate field"},
+		{"dup struct", `
+struct A { int v; };
+struct A { int w; };
+void main() { }`, "duplicate struct"},
+		{"unknown field", `
+struct A { int v; };
+shared struct A *p;
+void main() { p->w = 1; }`, "no field"},
+		{"dot on pointer", `
+struct A { int v; };
+shared struct A *p;
+void main() { p.v = 1; }`, "needs a struct"},
+		{"arrow on value", `
+struct A { int v; };
+shared struct A arr[4];
+void main() { arr[0]->v = 1; }`, "pointer to struct"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Check(mustParse(t, tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestPromotionRules(t *testing.T) {
+	src := `
+shared double d;
+shared int i;
+void main() {
+    d = 3;
+    d = i;
+    d = d + i;
+    d = i * 2 + d;
+    if (d > i) { i = 1; }
+}
+`
+	if _, err := Check(mustParse(t, src)); err != nil {
+		t.Fatalf("promotion program rejected: %v", err)
+	}
+	// The reverse direction needs explicit handling (none exists).
+	_, err := Check(mustParse(t, `
+shared double d;
+shared int i;
+void main() { i = d; }`))
+	if err == nil {
+		t.Fatalf("double-to-int narrowing must be rejected")
+	}
+}
+
+func TestLockArrays(t *testing.T) {
+	src := `
+lock locks[16];
+shared int data[16];
+void main() {
+    acquire(locks[pid % 16]);
+    data[pid % 16] = 1;
+    release(locks[pid % 16]);
+}
+`
+	info, err := Check(mustParse(t, src))
+	if err != nil {
+		t.Fatalf("lock array rejected: %v", err)
+	}
+	lt := info.Globals["locks"].Type
+	if lt.Kind != Array || ElemType(lt).Kind != LockT {
+		t.Errorf("locks type = %s", lt)
+	}
+}
+
+func TestReturnPaths(t *testing.T) {
+	bad := []struct{ name, src, want string }{
+		{"void returns value", `
+void f() { return 1; }
+void main() { f(); }`, "returns a value"},
+		{"missing value", `
+int f() { return; }
+void main() { f(); }`, "must return"},
+		{"wrong type", `
+struct S { int v; };
+shared struct S *g;
+int f() { return g; }
+void main() { f(); }`, "cannot assign"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Check(mustParse(t, tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInfoMaps(t *testing.T) {
+	src := `
+struct S { int v; };
+shared struct S *p;
+shared int g;
+void main() {
+    int x;
+    x = g;
+    p->v = x;
+}
+`
+	f := mustParse(t, src)
+	info, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every expression in the tree must have a type.
+	missing := 0
+	for _, fn := range f.Funcs {
+		_ = fn
+	}
+	if len(info.Types) == 0 || len(info.Uses) == 0 || len(info.FieldUses) != 1 {
+		t.Errorf("info maps: types=%d uses=%d fields=%d — missing %d",
+			len(info.Types), len(info.Uses), len(info.FieldUses), missing)
+	}
+	if info.Funcs["main"].Locals[0].Name != "x" {
+		t.Errorf("locals: %+v", info.Funcs["main"].Locals)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		typ  *Type
+		want string
+	}{
+		{IntType, "int"},
+		{DoubleType, "double"},
+		{PointerTo(IntType), "int*"},
+		{PointerTo(PointerTo(DoubleType)), "double**"},
+		{LockType, "lock"},
+	}
+	for _, tc := range cases {
+		if got := tc.typ.String(); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PointerTo(IntType).Equal(PointerTo(IntType)) {
+		t.Errorf("equal pointers unequal")
+	}
+	if PointerTo(IntType).Equal(PointerTo(DoubleType)) {
+		t.Errorf("different pointers equal")
+	}
+	if IntType.Equal(nil) {
+		t.Errorf("nil comparison")
+	}
+}
+
+func TestScalarSize(t *testing.T) {
+	if IntType.ScalarSize() != 4 || DoubleType.ScalarSize() != 8 ||
+		PointerTo(IntType).ScalarSize() != 8 || LockType.ScalarSize() != 4 {
+		t.Errorf("scalar sizes wrong")
+	}
+}
+
+func TestSharedGlobalsOrder(t *testing.T) {
+	src := `
+shared int b;
+private int x;
+shared int a;
+lock l;
+void main() { }
+`
+	info, err := Check(mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, s := range info.SharedGlobals() {
+		names = append(names, s.Name)
+	}
+	want := []string{"b", "a", "l"}
+	if len(names) != 3 {
+		t.Fatalf("shared globals: %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("order: %v, want %v", names, want)
+		}
+	}
+}

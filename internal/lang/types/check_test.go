@@ -1,0 +1,197 @@
+package types
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestCheckGood(t *testing.T) {
+	src := `
+struct Cell {
+    int hits;
+    double weight;
+    struct Cell *next;
+};
+
+shared int counts[4 * nprocs];
+shared double total;
+shared struct Cell *heads[8];
+private int myid;
+lock l;
+
+int work(int i, double w) {
+    counts[i] = counts[i] + 1;
+    total = total + w;
+    return counts[i];
+}
+
+void main() {
+    int i;
+    double w;
+    struct Cell *p;
+    myid = pid;
+    w = 1.5;
+    for (i = myid; i < 4 * nprocs; i = i + nprocs) {
+        work(i, w);
+    }
+    barrier;
+    p = alloc(struct Cell);
+    p->hits = 1;
+    p->weight = w;
+    p->next = 0;
+    acquire(l);
+    heads[myid % 8] = p;
+    release(l);
+}
+`
+	f := mustParse(t, src)
+	info, err := Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	if got := info.Globals["counts"].Type.Kind; got != Array {
+		t.Errorf("counts kind = %v", got)
+	}
+	if got := info.Globals["l"].Type.Kind; got != LockT {
+		t.Errorf("lock kind = %v", got)
+	}
+	shared := info.SharedGlobals()
+	if len(shared) != 4 { // counts, total, heads, l (myid is private)
+		names := []string{}
+		for _, s := range shared {
+			names = append(names, s.Name)
+		}
+		t.Errorf("shared globals = %v", names)
+	}
+	fi := info.Funcs["work"]
+	if fi.Ret.Kind != Int || len(fi.Params) != 2 {
+		t.Errorf("work signature: %+v", fi)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined", `void main() { x = 1; }`, "undefined"},
+		{"no main", `shared int x;`, "must define void main"},
+		{"main sig", `int main() { return 1; }`, "void main()"},
+		{"ptr arith", `
+shared int *p;
+void main() { p = p + 1; }`, "pointer arithmetic"},
+		{"deref nonptr", `
+shared int x;
+void main() { x = *x; }`, "dereference"},
+		{"bad assign", `
+shared int x;
+shared double d;
+void main() { x = d; }`, "cannot assign"},
+		{"lock misuse", `
+lock l;
+shared int x;
+void main() { acquire(x); release(l); }`, "needs a lock"},
+		{"lock as value", `
+lock l;
+void main() { int x; x = l; }`, "cannot assign"},
+		{"bad call arity", `
+void f(int a) { }
+void main() { f(1, 2); }`, "2 arguments, want 1"},
+		{"void ptr", `
+shared void *p;
+void main() { }`, "void pointers"},
+		{"dup global", `
+shared int x;
+shared int x;
+void main() { }`, "duplicate global"},
+		{"nonconst dim", `
+shared int g;
+void main() { int a[g]; }`, "constant expression"},
+		{"struct by value param", `
+struct S { int a; };
+void f(struct S s) { }
+void main() { }`, "passed by pointer"},
+		{"cond type", `
+shared double d;
+void main() { if (d) { } }`, "condition must have int"},
+		{"exprstmt", `
+shared int x;
+void main() { x + 1; }`, "must be a function call"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := mustParse(t, tc.src)
+			_, err := Check(f)
+			if err == nil {
+				t.Fatalf("expected error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	cases := []struct {
+		src    string
+		nprocs int64
+		want   int64
+	}{
+		{"4 * nprocs", 12, 48},
+		{"nprocs + 1", 8, 9},
+		{"100", 1, 100},
+		{"(6 + 2) / 4", 1, 2},
+		{"10 % 3", 1, 1},
+		{"-5", 1, -5},
+		{"3 < 4", 1, 1},
+	}
+	for _, tc := range cases {
+		e, err := parser.ParseExpr(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		got, ok := EvalConst(e, tc.nprocs)
+		if !ok || got != tc.want {
+			t.Errorf("EvalConst(%q, %d) = %d, %v; want %d", tc.src, tc.nprocs, got, ok, tc.want)
+		}
+	}
+
+	// Non-constant expression.
+	e, err := parser.ParseExpr("x + 1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, ok := EvalConst(e, 1); ok {
+		t.Errorf("EvalConst of non-constant should fail")
+	}
+}
+
+func TestArrayDims(t *testing.T) {
+	src := `
+shared int m[2 * nprocs][8];
+void main() { }
+`
+	info, err := Check(mustParse(t, src))
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	dims, ok := ArrayDims(info.Globals["m"].Type, 4)
+	if !ok || len(dims) != 2 || dims[0] != 8 || dims[1] != 8 {
+		t.Fatalf("dims = %v, ok=%v", dims, ok)
+	}
+	if ElemType(info.Globals["m"].Type).Kind != Int {
+		t.Fatalf("elem type wrong")
+	}
+}

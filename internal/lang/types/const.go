@@ -1,0 +1,110 @@
+package types
+
+import (
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/token"
+)
+
+// EvalConst evaluates a constant integer expression over literals,
+// nprocs, and arithmetic. It is used for array dimensions: parc array
+// extents may depend on the configured process count (the analysis
+// assumes one process per processor, paper §2). Returns ok=false if
+// the expression is not constant.
+func EvalConst(e ast.Expr, nprocs int64) (int64, bool) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return x.Value, true
+	case *ast.NprocsExpr:
+		return nprocs, true
+	case *ast.UnaryExpr:
+		v, ok := EvalConst(x.X, nprocs)
+		if !ok {
+			return 0, false
+		}
+		switch x.Op {
+		case token.MINUS:
+			return -v, true
+		case token.NOT:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *ast.BinaryExpr:
+		a, ok1 := EvalConst(x.X, nprocs)
+		b, ok2 := EvalConst(x.Y, nprocs)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case token.PLUS:
+			return a + b, true
+		case token.MINUS:
+			return a - b, true
+		case token.STAR:
+			return a * b, true
+		case token.SLASH:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case token.PERCENT:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case token.EQ:
+			return b2i(a == b), true
+		case token.NEQ:
+			return b2i(a != b), true
+		case token.LT:
+			return b2i(a < b), true
+		case token.LE:
+			return b2i(a <= b), true
+		case token.GT:
+			return b2i(a > b), true
+		case token.GE:
+			return b2i(a >= b), true
+		case token.LAND:
+			return b2i(a != 0 && b != 0), true
+		case token.LOR:
+			return b2i(a != 0 || b != 0), true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ArrayDims returns the concrete extents of a (possibly nested) array
+// type for the given process count, innermost last. A non-array type
+// yields an empty slice. ok=false if any extent is not constant or is
+// not positive.
+func ArrayDims(t *Type, nprocs int64) ([]int64, bool) {
+	var dims []int64
+	for t.Kind == Array {
+		n, ok := EvalConst(t.Len, nprocs)
+		if !ok || n <= 0 {
+			return nil, false
+		}
+		dims = append(dims, n)
+		t = t.Elem
+	}
+	return dims, true
+}
+
+// ElemType returns the ultimate element type of a (possibly nested)
+// array type, or t itself for non-arrays.
+func ElemType(t *Type) *Type {
+	for t.Kind == Array {
+		t = t.Elem
+	}
+	return t
+}

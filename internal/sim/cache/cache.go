@@ -1,0 +1,479 @@
+// Package cache implements the trace-driven multiprocessor cache
+// simulator used to measure false sharing (paper §4): per-processor
+// first-level caches kept coherent by a write-invalidate protocol,
+// with miss classification at word granularity.
+//
+// Miss taxonomy:
+//
+//   - cold: the processor touches the block for the first time;
+//   - replacement: the processor lost the block to eviction
+//     (capacity/conflict) and re-references it;
+//   - invalidation misses: the processor lost the block to another
+//     processor's write. They split into
+//     true sharing — a word accessed by the missing reference was
+//     written by another processor since this processor lost the
+//     block — and
+//     false sharing — it was not: only *other* words of the block
+//     changed, so with a one-word block the miss would not exist.
+//
+// This follows the classification used by Eggers/Jeremiassen and
+// Torrellas et al.
+package cache
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WordSize is the sharing-classification granularity in bytes.
+const WordSize = 4
+
+// Config describes one simulated cache configuration.
+type Config struct {
+	NumProcs  int
+	BlockSize int64 // bytes, power of two, 4..256
+	CacheSize int64 // per-processor first-level cache, bytes
+	Assoc     int   // set associativity (LRU)
+
+	// WordInvalidate models the hardware alternative of Dubois et al.
+	// (paper §6): writes invalidate remote copies at word rather than
+	// block granularity, so a subsequent read of an *unwritten* word
+	// in the block still hits. This eliminates false-sharing misses
+	// entirely in hardware, at the cost of per-word valid bits; the
+	// ablation benchmarks compare it against the compile-time
+	// transformations.
+	WordInvalidate bool
+}
+
+// DefaultConfig is the paper's simulated machine: 32 KB first-level
+// caches (infinite second level) with the given block size.
+func DefaultConfig(nprocs int, blockSize int64) Config {
+	return Config{NumProcs: nprocs, BlockSize: blockSize, CacheSize: 32 * 1024, Assoc: 4}
+}
+
+// MissKind classifies one reference's outcome.
+type MissKind int
+
+const (
+	Hit MissKind = iota
+	Cold
+	Replacement
+	TrueSharing
+	FalseSharing
+)
+
+func (k MissKind) String() string {
+	switch k {
+	case Hit:
+		return "hit"
+	case Cold:
+		return "cold"
+	case Replacement:
+		return "replacement"
+	case TrueSharing:
+		return "true-sharing"
+	case FalseSharing:
+		return "false-sharing"
+	}
+	return "miss?"
+}
+
+// Stats accumulates simulation results.
+type Stats struct {
+	Config Config
+
+	Refs   int64
+	Reads  int64
+	Writes int64
+
+	Hits       int64
+	Cold       int64
+	Replace    int64
+	TrueShare  int64
+	FalseShare int64
+
+	// Upgrades counts write hits to shared lines (ownership
+	// acquisitions that invalidate other copies but transfer no data).
+	Upgrades int64
+	// Invalidations counts line invalidations caused in other caches.
+	Invalidations int64
+
+	// Per-processor counters for the execution-time model.
+	ProcRefs   []int64
+	ProcMisses []int64
+	ProcFS     []int64
+	ProcRemote []int64 // misses serviced by another processor's cache
+}
+
+// Misses returns the total miss count.
+func (s *Stats) Misses() int64 { return s.Cold + s.Replace + s.TrueShare + s.FalseShare }
+
+// MissRate returns misses per reference.
+func (s *Stats) MissRate() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(s.Refs)
+}
+
+// FSRate returns the false-sharing miss rate (false-sharing misses per
+// reference) — the white portion of the paper's Figure 3 bars.
+func (s *Stats) FSRate() float64 {
+	if s.Refs == 0 {
+		return 0
+	}
+	return float64(s.FalseShare) / float64(s.Refs)
+}
+
+// OtherRate returns the non-false-sharing miss rate (the black
+// portion of the Figure 3 bars).
+func (s *Stats) OtherRate() float64 { return s.MissRate() - s.FSRate() }
+
+// String renders the stats.
+func (s *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "refs=%d (r=%d w=%d) missrate=%.4f%%\n", s.Refs, s.Reads, s.Writes, 100*s.MissRate())
+	fmt.Fprintf(&sb, "  cold=%d replace=%d true=%d false=%d upgrades=%d inval=%d\n",
+		s.Cold, s.Replace, s.TrueShare, s.FalseShare, s.Upgrades, s.Invalidations)
+	return sb.String()
+}
+
+// line is one cache line.
+type line struct {
+	tag   int64 // block address
+	valid bool
+	state byte // stateShared or stateModified
+	lru   int64
+	// invMask marks per-word invalidations (WordInvalidate mode): bit
+	// w set means word w of the block was written remotely and must be
+	// refetched before use.
+	invMask uint64
+}
+
+const (
+	stateShared   byte = 0
+	stateModified byte = 1
+)
+
+// blockMeta tracks why a processor lost a block, for classification.
+type blockMeta struct {
+	seen      bool
+	resident  bool
+	lostByInv bool
+	lostAt    int64
+	wayHint   int32
+}
+
+// Sim is the multiprocessor cache simulator.
+type Sim struct {
+	cfg      Config
+	nsets    int64
+	blkShift uint
+	setMask  int64
+
+	caches [][]line // [proc][set*assoc+way]
+	meta   []map[int64]*blockMeta
+
+	// wordWriter/wordTime record the last writer and time per word.
+	wordWriter map[int64]int32
+	wordTime   map[int64]int64
+
+	time  int64
+	stats Stats
+}
+
+// New builds a simulator.
+func New(cfg Config) *Sim {
+	if cfg.Assoc <= 0 {
+		cfg.Assoc = 4
+	}
+	nsets := cfg.CacheSize / (cfg.BlockSize * int64(cfg.Assoc))
+	if nsets < 1 {
+		nsets = 1
+	}
+	// Round sets down to a power of two for masking.
+	for nsets&(nsets-1) != 0 {
+		nsets &= nsets - 1
+	}
+	s := &Sim{
+		cfg:        cfg,
+		nsets:      nsets,
+		setMask:    nsets - 1,
+		wordWriter: map[int64]int32{},
+		wordTime:   map[int64]int64{},
+	}
+	for b := cfg.BlockSize; b > 1; b >>= 1 {
+		s.blkShift++
+	}
+	s.caches = make([][]line, cfg.NumProcs)
+	s.meta = make([]map[int64]*blockMeta, cfg.NumProcs)
+	for p := 0; p < cfg.NumProcs; p++ {
+		s.caches[p] = make([]line, nsets*int64(cfg.Assoc))
+		s.meta[p] = map[int64]*blockMeta{}
+	}
+	s.stats.Config = cfg
+	s.stats.ProcRefs = make([]int64, cfg.NumProcs)
+	s.stats.ProcMisses = make([]int64, cfg.NumProcs)
+	s.stats.ProcFS = make([]int64, cfg.NumProcs)
+	s.stats.ProcRemote = make([]int64, cfg.NumProcs)
+	return s
+}
+
+// Stats returns the accumulated statistics.
+func (s *Sim) Stats() *Stats { return &s.stats }
+
+// Access simulates one memory reference, splitting it at block
+// boundaries if necessary (an 8-byte access with 4-byte blocks spans
+// two blocks), and returns the classification of its first block.
+func (s *Sim) Access(proc int, addr int64, size int64, write bool) MissKind {
+	first := s.accessBlock(proc, addr, min64(size, s.cfg.BlockSize-addr%s.cfg.BlockSize), write)
+	end := addr + size
+	next := (addr>>s.blkShift + 1) << s.blkShift
+	for next < end {
+		n := min64(end-next, s.cfg.BlockSize)
+		s.accessBlock(proc, next, n, write)
+		next += s.cfg.BlockSize
+	}
+	return first
+}
+
+func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
+	s.time++
+	s.stats.Refs++
+	s.stats.ProcRefs[proc]++
+	if write {
+		s.stats.Writes++
+	} else {
+		s.stats.Reads++
+	}
+
+	block := addr >> s.blkShift
+	set := block & s.setMask
+	ways := s.caches[proc][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+
+	// Lookup.
+	hitWay := -1
+	for w := range ways {
+		if ways[w].valid && ways[w].tag == block {
+			hitWay = w
+			break
+		}
+	}
+
+	kind := Hit
+	if hitWay >= 0 {
+		ln := &ways[hitWay]
+		// Word-invalidate mode: a resident line may hold remotely
+		// written (invalid) words; touching one is a true-sharing
+		// miss that refetches the block.
+		if s.cfg.WordInvalidate && ln.invMask&s.wordBits(addr, size) != 0 {
+			ln.invMask = 0
+			ln.lru = s.time
+			if write {
+				ln.state = stateModified
+				s.invalidateWords(proc, block, addr, size)
+				s.recordWrite(proc, addr, size)
+			} else {
+				ln.state = stateShared
+			}
+			s.stats.TrueShare++
+			s.stats.ProcMisses[proc]++
+			if s.heldElsewhere(proc, block) {
+				s.stats.ProcRemote[proc]++
+			}
+			return TrueSharing
+		}
+		ln.lru = s.time
+		if write && ln.state == stateShared {
+			s.stats.Upgrades++
+			s.invalidateOthers(proc, block)
+			ln.state = stateModified
+		}
+		if write {
+			ln.state = stateModified
+			if s.cfg.WordInvalidate {
+				s.invalidateWords(proc, block, addr, size)
+			}
+			s.recordWrite(proc, addr, size)
+		}
+		s.stats.Hits++
+		return Hit
+	}
+
+	// Miss: classify.
+	bm := s.blockMeta(proc, block)
+	switch {
+	case !bm.seen:
+		kind = Cold
+		s.stats.Cold++
+	case bm.lostByInv:
+		if s.modifiedByOtherSince(proc, addr, size, bm.lostAt) {
+			kind = TrueSharing
+			s.stats.TrueShare++
+		} else {
+			kind = FalseSharing
+			s.stats.FalseShare++
+			s.stats.ProcFS[proc]++
+		}
+	default:
+		kind = Replacement
+		s.stats.Replace++
+	}
+	s.stats.ProcMisses[proc]++
+	if s.heldElsewhere(proc, block) {
+		s.stats.ProcRemote[proc]++
+	}
+
+	// Fill: evict the LRU way.
+	victim := 0
+	for w := range ways {
+		if !ways[w].valid {
+			victim = w
+			break
+		}
+		if ways[w].lru < ways[victim].lru {
+			victim = w
+		}
+	}
+	if ways[victim].valid {
+		// Record eviction of the old block.
+		old := ways[victim].tag
+		obm := s.blockMeta(proc, old)
+		if obm.resident {
+			obm.resident = false
+			obm.lostByInv = false
+			obm.lostAt = s.time
+		}
+	}
+	st := stateShared
+	if write {
+		st = stateModified
+		s.invalidateOthers(proc, block)
+		if s.cfg.WordInvalidate {
+			s.invalidateWords(proc, block, addr, size)
+		}
+		s.recordWrite(proc, addr, size)
+	}
+	ways[victim] = line{tag: block, valid: true, state: st, lru: s.time}
+	bm.seen = true
+	bm.resident = true
+	bm.wayHint = int32(victim)
+	return kind
+}
+
+// invalidateOthers removes the block from every other processor's
+// cache, marking the loss as invalidation for classification. Callers
+// in WordInvalidate mode use invalidateWords instead for data writes;
+// this whole-line variant remains for fills acquiring ownership.
+func (s *Sim) invalidateOthers(proc int, block int64) {
+	if s.cfg.WordInvalidate {
+		// Ownership transfers still happen, but copies stay readable
+		// for their valid words; nothing to do here (the written
+		// words are invalidated by invalidateWords).
+		return
+	}
+	set := block & s.setMask
+	for p := 0; p < s.cfg.NumProcs; p++ {
+		if p == proc {
+			continue
+		}
+		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		for w := range ways {
+			if ways[w].valid && ways[w].tag == block {
+				ways[w].valid = false
+				s.stats.Invalidations++
+				bm := s.blockMeta(p, block)
+				bm.resident = false
+				bm.lostByInv = true
+				bm.lostAt = s.time
+			}
+		}
+	}
+}
+
+// wordBits returns the per-word bit mask covered by [addr, addr+size)
+// within its block.
+func (s *Sim) wordBits(addr, size int64) uint64 {
+	blockStart := addr >> s.blkShift << s.blkShift
+	first := (addr - blockStart) / WordSize
+	last := (addr + size - 1 - blockStart) / WordSize
+	var m uint64
+	for w := first; w <= last && w < 64; w++ {
+		m |= 1 << uint(w)
+	}
+	return m
+}
+
+// invalidateWords marks the written words invalid in every other
+// cache holding the block (WordInvalidate mode).
+func (s *Sim) invalidateWords(proc int, block, addr, size int64) {
+	bits := s.wordBits(addr, size)
+	set := block & s.setMask
+	for p := 0; p < s.cfg.NumProcs; p++ {
+		if p == proc {
+			continue
+		}
+		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		for w := range ways {
+			if ways[w].valid && ways[w].tag == block {
+				if ways[w].invMask&bits != bits {
+					s.stats.Invalidations++
+				}
+				ways[w].invMask |= bits
+			}
+		}
+	}
+}
+
+// heldElsewhere reports whether another processor's cache holds the
+// block (the miss would be serviced cache-to-cache on the KSR).
+func (s *Sim) heldElsewhere(proc int, block int64) bool {
+	set := block & s.setMask
+	for p := 0; p < s.cfg.NumProcs; p++ {
+		if p == proc {
+			continue
+		}
+		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		for w := range ways {
+			if ways[w].valid && ways[w].tag == block {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recordWrite stamps the words covered by a write.
+func (s *Sim) recordWrite(proc int, addr, size int64) {
+	for w := addr / WordSize; w <= (addr+size-1)/WordSize; w++ {
+		s.wordWriter[w] = int32(proc)
+		s.wordTime[w] = s.time
+	}
+}
+
+// modifiedByOtherSince reports whether any word covered by [addr,
+// addr+size) was written by a processor other than proc at or after t.
+func (s *Sim) modifiedByOtherSince(proc int, addr, size, t int64) bool {
+	for w := addr / WordSize; w <= (addr+size-1)/WordSize; w++ {
+		if s.wordTime[w] >= t && s.wordWriter[w] != int32(proc) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Sim) blockMeta(proc int, block int64) *blockMeta {
+	bm := s.meta[proc][block]
+	if bm == nil {
+		bm = &blockMeta{}
+		s.meta[proc][block] = bm
+	}
+	return bm
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

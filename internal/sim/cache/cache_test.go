@@ -1,0 +1,173 @@
+package cache
+
+import "testing"
+
+func sim(nprocs int, block int64) *Sim {
+	return New(DefaultConfig(nprocs, block))
+}
+
+func TestColdThenHit(t *testing.T) {
+	s := sim(2, 64)
+	if k := s.Access(0, 0x1000, 4, false); k != Cold {
+		t.Fatalf("first access = %v, want cold", k)
+	}
+	if k := s.Access(0, 0x1004, 4, false); k != Hit {
+		t.Fatalf("same-block access = %v, want hit", k)
+	}
+	if k := s.Access(0, 0x1040, 4, false); k != Cold {
+		t.Fatalf("next block = %v, want cold", k)
+	}
+}
+
+func TestFalseSharingClassification(t *testing.T) {
+	s := sim(2, 64)
+	// P0 reads word A; P1 writes word B in the same block; P0 rereads
+	// word A -> false sharing (A unchanged).
+	s.Access(0, 0x1000, 4, false)
+	s.Access(1, 0x1020, 4, true) // invalidates P0
+	if k := s.Access(0, 0x1000, 4, false); k != FalseSharing {
+		t.Fatalf("reread = %v, want false-sharing", k)
+	}
+}
+
+func TestTrueSharingClassification(t *testing.T) {
+	s := sim(2, 64)
+	// P0 reads word A; P1 writes word A; P0 rereads A -> true sharing.
+	s.Access(0, 0x1000, 4, false)
+	s.Access(1, 0x1000, 4, true)
+	if k := s.Access(0, 0x1000, 4, false); k != TrueSharing {
+		t.Fatalf("reread = %v, want true-sharing", k)
+	}
+}
+
+func TestWriteInvalidateUpgrade(t *testing.T) {
+	s := sim(2, 64)
+	s.Access(0, 0x1000, 4, false)
+	s.Access(1, 0x1000, 4, false)
+	// P0 writes: upgrade, invalidating P1.
+	if k := s.Access(0, 0x1000, 4, true); k != Hit {
+		t.Fatalf("upgrade = %v, want hit", k)
+	}
+	st := s.Stats()
+	if st.Upgrades != 1 || st.Invalidations != 1 {
+		t.Fatalf("upgrades=%d invalidations=%d", st.Upgrades, st.Invalidations)
+	}
+	if k := s.Access(1, 0x1000, 4, false); k != TrueSharing {
+		t.Fatalf("P1 reread = %v, want true-sharing", k)
+	}
+}
+
+func TestOneWordBlocksHaveNoFalseSharing(t *testing.T) {
+	// With 4-byte blocks every invalidation miss is true sharing by
+	// definition.
+	s := sim(4, 4)
+	for i := 0; i < 1000; i++ {
+		p := i % 4
+		addr := int64(0x1000 + (i%16)*4)
+		s.Access(p, addr, 4, i%3 == 0)
+	}
+	if s.Stats().FalseShare != 0 {
+		t.Fatalf("false sharing with one-word blocks: %d", s.Stats().FalseShare)
+	}
+}
+
+func TestFalseSharingGrowsWithBlockSize(t *testing.T) {
+	// Two processors ping-pong adjacent words: large blocks produce
+	// false sharing, one-word blocks none.
+	run := func(block int64) *Stats {
+		s := sim(2, block)
+		for i := 0; i < 2000; i++ {
+			s.Access(0, 0x1000, 4, true)
+			s.Access(1, 0x1004, 4, true)
+		}
+		return s.Stats()
+	}
+	small := run(4)
+	big := run(128)
+	if small.FalseShare != 0 {
+		t.Errorf("4-byte blocks: false sharing = %d, want 0", small.FalseShare)
+	}
+	if big.FalseShare < 3000 {
+		t.Errorf("128-byte blocks: false sharing = %d, want ~4000", big.FalseShare)
+	}
+}
+
+func TestReplacementMiss(t *testing.T) {
+	cfg := Config{NumProcs: 1, BlockSize: 64, CacheSize: 1024, Assoc: 1}
+	s := New(cfg)
+	// Two blocks mapping to the same set (set count = 1024/64 = 16).
+	a := int64(0x10000)
+	b := a + 16*64
+	s.Access(0, a, 4, false)
+	s.Access(0, b, 4, false) // evicts a
+	if k := s.Access(0, a, 4, false); k != Replacement {
+		t.Fatalf("re-access = %v, want replacement", k)
+	}
+}
+
+func TestStraddlingAccessSplit(t *testing.T) {
+	s := sim(1, 4)
+	// An 8-byte access with 4-byte blocks touches two blocks.
+	s.Access(0, 0x1000, 8, false)
+	if got := s.Stats().Refs; got != 2 {
+		t.Fatalf("refs = %d, want 2 (split)", got)
+	}
+}
+
+func TestPaddingEliminatesFalseSharing(t *testing.T) {
+	// The transformation story in miniature: adjacent counters vs
+	// block-padded counters.
+	adjacent := sim(4, 64)
+	for i := 0; i < 1000; i++ {
+		for p := 0; p < 4; p++ {
+			adjacent.Access(p, 0x1000+int64(p)*4, 4, true)
+		}
+	}
+	padded := sim(4, 64)
+	for i := 0; i < 1000; i++ {
+		for p := 0; p < 4; p++ {
+			padded.Access(p, 0x1000+int64(p)*64, 4, true)
+		}
+	}
+	fa, fp := adjacent.Stats().FalseShare, padded.Stats().FalseShare
+	if fa < 3000 {
+		t.Errorf("adjacent counters: false sharing = %d, want ~4000", fa)
+	}
+	if fp != 0 {
+		t.Errorf("padded counters: false sharing = %d, want 0", fp)
+	}
+}
+
+func TestPerProcCounters(t *testing.T) {
+	s := sim(2, 64)
+	s.Access(0, 0x1000, 4, true)
+	s.Access(1, 0x1000, 4, false)
+	st := s.Stats()
+	if st.ProcRefs[0] != 1 || st.ProcRefs[1] != 1 {
+		t.Fatalf("proc refs: %v", st.ProcRefs)
+	}
+	if st.ProcMisses[0] != 1 || st.ProcMisses[1] != 1 {
+		t.Fatalf("proc misses: %v", st.ProcMisses)
+	}
+	// P1's miss is serviced by P0's cache.
+	if st.ProcRemote[1] != 1 {
+		t.Fatalf("remote: %v", st.ProcRemote)
+	}
+}
+
+func TestRatesAndAccounting(t *testing.T) {
+	s := sim(2, 64)
+	for i := 0; i < 100; i++ {
+		s.Access(i%2, int64(0x1000+4*(i%8)), 4, i%4 == 0)
+	}
+	st := s.Stats()
+	if st.Hits+st.Misses() != st.Refs {
+		t.Fatalf("accounting: hits=%d misses=%d refs=%d", st.Hits, st.Misses(), st.Refs)
+	}
+	if st.MissRate() < 0 || st.MissRate() > 1 {
+		t.Fatalf("miss rate %f", st.MissRate())
+	}
+	if st.FSRate() > st.MissRate() {
+		t.Fatalf("fs rate exceeds miss rate")
+	}
+}

@@ -1,0 +1,244 @@
+// Package ksr models execution time on a KSR2-like hierarchical
+// ring-based shared memory multiprocessor (paper §4).
+//
+// The machine parameters follow the paper: 128-byte coherence units,
+// a miss latency of 175 cycles when serviced on the same ring and 600
+// cycles across rings, and 32 processors per ring (56 processors span
+// two rings). On top of the base latencies the model charges ring
+// contention: every miss and ownership upgrade occupies the ring for a
+// fixed number of cycles, and the effective miss latency grows with
+// ring utilization (an M/M/1-style queueing term, solved to a fixed
+// point per phase). This is the mechanism behind the paper's central
+// scalability observation: memory contention from false sharing grows
+// more than linearly with the number of processors and eventually
+// reverses the speedup trend, while transformed programs keep scaling.
+//
+// Work is accounted phase by phase (between barrier releases): each
+// phase's duration is the maximum over processors of compute cycles
+// plus effective miss stall cycles, so load imbalance inside a phase
+// costs time even though the simulator's scheduler is round-robin.
+package ksr
+
+import (
+	"fmt"
+
+	"falseshare/internal/core"
+	"falseshare/internal/sim/cache"
+	"falseshare/internal/vm"
+)
+
+// Config holds the machine model parameters.
+type Config struct {
+	BlockSize     int64   // coherence unit (128 on the KSR2)
+	CacheSize     int64   // per-processor local (data) cache
+	Assoc         int     // associativity
+	LocalLatency  float64 // same-ring miss service, cycles
+	RemoteLatency float64 // cross-ring miss service, cycles
+	RingSize      int     // processors per ring
+	RingOccupancy float64 // ring cycles consumed per transaction
+	CPI           float64 // cycles per (non-stalled) instruction
+	MaxUtil       float64 // utilization cap for the queueing term
+}
+
+// DefaultConfig returns the KSR2-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:     128,
+		CacheSize:     256 * 1024,
+		Assoc:         4,
+		LocalLatency:  175,
+		RemoteLatency: 600,
+		RingSize:      32,
+		RingOccupancy: 12,
+		CPI:           1,
+		MaxUtil:       0.98,
+	}
+}
+
+// Result summarizes one execution-time simulation.
+type Result struct {
+	P      int
+	Cycles float64
+	// Instrs is the total instruction count across processors.
+	Instrs int64
+	// Stats is the cache simulation underlying the time model.
+	Stats *cache.Stats
+	// Phases is the number of barrier-delimited phases accounted.
+	Phases int
+	// StallFrac is the fraction of cycles attributed to miss stalls
+	// on the critical path (diagnostic).
+	StallFrac float64
+}
+
+// phaseSnapshot captures per-processor counters at a phase boundary.
+type phaseSnapshot struct {
+	instrs []int64
+	misses []int64
+	remote []int64
+	txTot  int64 // misses + upgrades, ring transactions
+}
+
+// Execute runs the program (already compiled for its process count)
+// through the VM + cache simulator and applies the time model.
+func Execute(prog *core.Program, cfg Config) (*Result, error) {
+	nprocs := int(prog.Layout.Nprocs)
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	m := vm.New(bc)
+	sim := cache.New(cache.Config{
+		NumProcs:  nprocs,
+		BlockSize: cfg.BlockSize,
+		CacheSize: cfg.CacheSize,
+		Assoc:     cfg.Assoc,
+	})
+
+	snap := func() phaseSnapshot {
+		st := sim.Stats()
+		s := phaseSnapshot{
+			instrs: make([]int64, nprocs),
+			misses: make([]int64, nprocs),
+			remote: make([]int64, nprocs),
+			txTot:  st.Misses() + st.Upgrades,
+		}
+		for i, p := range m.Procs() {
+			s.instrs[i] = p.Instrs
+		}
+		copy(s.misses, st.ProcMisses)
+		copy(s.remote, st.ProcRemote)
+		return s
+	}
+
+	var boundaries []phaseSnapshot
+	m.OnBarrier = func() { boundaries = append(boundaries, snap()) }
+
+	if err := m.Run(func(r vm.Ref) {
+		sim.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
+	}); err != nil {
+		return nil, err
+	}
+	boundaries = append(boundaries, snap()) // final phase
+
+	res := &Result{P: nprocs, Stats: sim.Stats(), Phases: len(boundaries)}
+	var prev phaseSnapshot
+	prev.instrs = make([]int64, nprocs)
+	prev.misses = make([]int64, nprocs)
+	prev.remote = make([]int64, nprocs)
+
+	var totalStall, totalCycles float64
+	for _, b := range boundaries {
+		t, stall := phaseTime(cfg, nprocs, prev, b)
+		totalCycles += t
+		totalStall += stall
+		prev = b
+	}
+	res.Cycles = totalCycles
+	for _, p := range m.Procs() {
+		res.Instrs += p.Instrs
+	}
+	if totalCycles > 0 {
+		res.StallFrac = totalStall / totalCycles
+	}
+	return res, nil
+}
+
+// phaseTime computes the duration of one phase: the slowest
+// processor's compute plus miss stalls, with ring-contention-inflated
+// miss latency solved to a fixed point.
+func phaseTime(cfg Config, nprocs int, prev, cur phaseSnapshot) (cycles, stall float64) {
+	tx := float64(cur.txTot - prev.txTot)
+
+	// Base service latency per miss for each processor: local-ring vs
+	// cross-ring mix. Processors are assigned to rings in order, so
+	// with P <= RingSize everything is local; beyond that a miss
+	// crosses rings with probability proportional to the other ring's
+	// share of processors.
+	crossFrac := 0.0
+	if nprocs > cfg.RingSize {
+		other := float64(nprocs - cfg.RingSize)
+		crossFrac = other / float64(nprocs) * 2 * (float64(cfg.RingSize) / float64(nprocs))
+		if crossFrac > 1 {
+			crossFrac = 1
+		}
+	}
+	baseLat := cfg.LocalLatency*(1-crossFrac) + cfg.RemoteLatency*crossFrac
+
+	// Fixed point on the phase duration.
+	t := 1.0
+	for p := 0; p < nprocs; p++ {
+		c := float64(cur.instrs[p]-prev.instrs[p]) * cfg.CPI
+		if c > t {
+			t = c
+		}
+	}
+	var worstStall float64
+	for iter := 0; iter < 30; iter++ {
+		rho := tx * cfg.RingOccupancy / t
+		if rho > cfg.MaxUtil {
+			rho = cfg.MaxUtil
+		}
+		lat := baseLat + cfg.RingOccupancy*rho/(1-rho)
+		nt := 1.0
+		worstStall = 0
+		for p := 0; p < nprocs; p++ {
+			c := float64(cur.instrs[p]-prev.instrs[p]) * cfg.CPI
+			s := float64(cur.misses[p]-prev.misses[p]) * lat
+			if c+s > nt {
+				nt = c + s
+				worstStall = s
+			}
+		}
+		if diff := nt - t; diff < 0.5 && diff > -0.5 {
+			t = nt
+			break
+		}
+		t = nt
+	}
+	return t, worstStall
+}
+
+// Sweep runs a program source across processor counts, compiling (and
+// optionally restructuring) for each count, and returns results
+// indexed like the given counts. compile maps a processor count to a
+// ready program.
+func Sweep(counts []int, compile func(p int) (*core.Program, error), cfg Config) ([]*Result, error) {
+	out := make([]*Result, 0, len(counts))
+	for _, p := range counts {
+		prog, err := compile(p)
+		if err != nil {
+			return nil, fmt.Errorf("ksr: compile for %d procs: %w", p, err)
+		}
+		r, err := Execute(prog, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ksr: run at %d procs: %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// SpeedupCurve converts cycle counts to speedups relative to base
+// (typically the uniprocessor run of the unoptimized version, as in
+// the paper's Figure 4).
+func SpeedupCurve(results []*Result, base float64) []float64 {
+	out := make([]float64, len(results))
+	for i, r := range results {
+		if r.Cycles > 0 {
+			out[i] = base / r.Cycles
+		}
+	}
+	return out
+}
+
+// MaxSpeedup returns the best speedup and the processor count where
+// it occurs (Table 3's columns).
+func MaxSpeedup(counts []int, speedups []float64) (float64, int) {
+	best, at := 0.0, 0
+	for i, s := range speedups {
+		if s > best {
+			best, at = s, counts[i]
+		}
+	}
+	return best, at
+}

@@ -1,0 +1,171 @@
+// Package trace provides utilities over the shared-memory reference
+// streams the VM produces: composable sinks (fan-out, filters,
+// counters) and a compact binary format for storing traces on disk,
+// mirroring the paper's use of stored traces for simulation [EKKL90].
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"falseshare/internal/vm"
+)
+
+// Sink consumes references.
+type Sink func(vm.Ref)
+
+// Tee fans a reference stream out to several sinks.
+func Tee(sinks ...Sink) Sink {
+	return func(r vm.Ref) {
+		for _, s := range sinks {
+			s(r)
+		}
+	}
+}
+
+// FilterRange passes only references inside [lo, hi) — e.g. one data
+// structure's address span — to the wrapped sink.
+func FilterRange(lo, hi int64, s Sink) Sink {
+	return func(r vm.Ref) {
+		if r.Addr >= lo && r.Addr < hi {
+			s(r)
+		}
+	}
+}
+
+// FilterProc passes only one process's references.
+func FilterProc(proc int, s Sink) Sink {
+	return func(r vm.Ref) {
+		if r.Proc == proc {
+			s(r)
+		}
+	}
+}
+
+// Counter tallies a reference stream.
+type Counter struct {
+	Refs   int64
+	Reads  int64
+	Writes int64
+	// ByProc counts per process (grown on demand).
+	ByProc []int64
+}
+
+// Sink returns the counting sink.
+func (c *Counter) Sink() Sink {
+	return func(r vm.Ref) {
+		c.Refs++
+		if r.Write {
+			c.Writes++
+		} else {
+			c.Reads++
+		}
+		for r.Proc >= len(c.ByProc) {
+			c.ByProc = append(c.ByProc, 0)
+		}
+		c.ByProc[r.Proc]++
+	}
+}
+
+// String renders the counter.
+func (c *Counter) String() string {
+	return fmt.Sprintf("refs=%d reads=%d writes=%d procs=%d", c.Refs, c.Reads, c.Writes, len(c.ByProc))
+}
+
+// ---------------------------------------------------------------------------
+// Binary format: a fixed 14-byte little-endian record per reference:
+//
+//	proc  uint16
+//	addr  uint64
+//	size  uint8
+//	write uint8 (0/1)
+//	pad   2 bytes (record alignment / future flags)
+
+const recordSize = 14
+
+// Writer streams references into an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Sink returns a sink writing every reference.
+func (tw *Writer) Sink() Sink {
+	return func(r vm.Ref) { tw.Write(r) }
+}
+
+// Write appends one reference.
+func (tw *Writer) Write(r vm.Ref) {
+	if tw.err != nil {
+		return
+	}
+	var buf [recordSize]byte
+	binary.LittleEndian.PutUint16(buf[0:], uint16(r.Proc))
+	binary.LittleEndian.PutUint64(buf[2:], uint64(r.Addr))
+	buf[10] = uint8(r.Size)
+	if r.Write {
+		buf[11] = 1
+	}
+	if _, err := tw.w.Write(buf[:]); err != nil {
+		tw.err = err
+		return
+	}
+	tw.n++
+}
+
+// Flush completes the stream and reports the record count.
+func (tw *Writer) Flush() (int64, error) {
+	if tw.err != nil {
+		return tw.n, tw.err
+	}
+	return tw.n, tw.w.Flush()
+}
+
+// Reader decodes a stored trace.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next reference; io.EOF ends the stream.
+func (tr *Reader) Next() (vm.Ref, error) {
+	var buf [recordSize]byte
+	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return vm.Ref{}, fmt.Errorf("trace: truncated record")
+		}
+		return vm.Ref{}, err
+	}
+	return vm.Ref{
+		Proc:  int(binary.LittleEndian.Uint16(buf[0:])),
+		Addr:  int64(binary.LittleEndian.Uint64(buf[2:])),
+		Size:  int8(buf[10]),
+		Write: buf[11] != 0,
+	}, nil
+}
+
+// ForEach replays a stored trace into a sink.
+func (tr *Reader) ForEach(s Sink) error {
+	for {
+		r, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		s(r)
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"falseshare/internal/vm"
+)
+
+func randRefs(seed int64, n int) []vm.Ref {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]vm.Ref, n)
+	for i := range out {
+		size := int8(4)
+		if r.Intn(2) == 0 {
+			size = 8
+		}
+		out[i] = vm.Ref{
+			Proc:  r.Intn(56),
+			Addr:  int64(r.Intn(1 << 24)),
+			Size:  size,
+			Write: r.Intn(2) == 0,
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	refs := randRefs(1, 1000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range refs {
+		w.Write(r)
+	}
+	n, err := w.Flush()
+	if err != nil || n != 1000 {
+		t.Fatalf("flush: n=%d err=%v", n, err)
+	}
+	var got []vm.Ref
+	if err := NewReader(&buf).ForEach(func(r vm.Ref) { got = append(got, r) }); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(refs, got) {
+		t.Fatalf("round trip mismatch: %d vs %d records", len(refs), len(got))
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		refs := randRefs(seed, int(nRaw)%64+1)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range refs {
+			w.Write(r)
+		}
+		if _, err := w.Flush(); err != nil {
+			return false
+		}
+		var got []vm.Ref
+		if err := NewReader(&buf).ForEach(func(r vm.Ref) { got = append(got, r) }); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(refs, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(vm.Ref{Proc: 1, Addr: 0x1000, Size: 4})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.Next(); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncated", err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestTeeAndFilters(t *testing.T) {
+	var all, low, p3 Counter
+	sink := Tee(
+		all.Sink(),
+		FilterRange(0, 0x2000, low.Sink()),
+		FilterProc(3, p3.Sink()),
+	)
+	sink(vm.Ref{Proc: 3, Addr: 0x1000, Size: 4, Write: true})
+	sink(vm.Ref{Proc: 1, Addr: 0x3000, Size: 4})
+	sink(vm.Ref{Proc: 3, Addr: 0x3000, Size: 8})
+	if all.Refs != 3 || all.Writes != 1 || all.Reads != 2 {
+		t.Errorf("all: %s", all.String())
+	}
+	if low.Refs != 1 {
+		t.Errorf("low: %s", low.String())
+	}
+	if p3.Refs != 2 || p3.ByProc[3] != 2 {
+		t.Errorf("p3: %s", p3.String())
+	}
+}
+
+func TestCounterGrowsByProc(t *testing.T) {
+	var c Counter
+	s := c.Sink()
+	s(vm.Ref{Proc: 55, Addr: 1, Size: 4})
+	if len(c.ByProc) != 56 || c.ByProc[55] != 1 {
+		t.Errorf("ByProc: %v", c.ByProc)
+	}
+}

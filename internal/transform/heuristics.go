@@ -1,0 +1,386 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"falseshare/internal/analysis/rsd"
+	"falseshare/internal/analysis/sideeffect"
+	"falseshare/internal/lang/types"
+)
+
+// Config tunes the Section 3.3 transformation heuristics. The zero
+// value is completed to the paper's settings; the Disable* flags exist
+// for ablation studies.
+type Config struct {
+	// Nprocs is the analyzed process count.
+	Nprocs int64
+	// BlockSize is the coherence block size transformations pad to.
+	BlockSize int64
+	// WriteDominance is the write:read ratio required to transform
+	// data whose reads are shared *with* locality (paper: one order of
+	// magnitude).
+	WriteDominance float64
+	// FreqThreshold is the minimum weighted access frequency for a
+	// data structure to be considered at all. Static profiling's
+	// underestimation of busy scalars (the paper's Maxflow/Raytrace
+	// residue) manifests through this threshold.
+	FreqThreshold float64
+
+	// CoAllocateLocks disables lock padding (Torrellas-style
+	// co-allocation) for ablation.
+	CoAllocateLocks bool
+	// DisableGroupTranspose, DisableIndirection and DisablePadAlign
+	// turn off individual transformations for ablation.
+	DisableGroupTranspose bool
+	DisableIndirection    bool
+	DisablePadAlign       bool
+}
+
+func (c Config) defaults() Config {
+	if c.Nprocs <= 0 {
+		c.Nprocs = 12
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 128
+	}
+	if c.WriteDominance == 0 {
+		c.WriteDominance = 10
+	}
+	if c.FreqThreshold == 0 {
+		c.FreqThreshold = 50
+	}
+	return c
+}
+
+// Decide runs the transformation heuristics over the side-effect
+// summary and returns the transformation plan.
+func Decide(sum *sideeffect.Summary, info *types.Info, cfg Config) *Plan {
+	cfg = cfg.defaults()
+	h := &heuristics{sum: sum, info: info, cfg: cfg, plan: &Plan{}}
+
+	type groupCand struct {
+		name   string
+		extent int64
+	}
+	var groupCands []groupCand
+	indFields := map[string][]string{} // struct -> fields
+
+	for _, os := range sum.SortedObjects() {
+		obj := os.Obj
+
+		// Locks are always padded (§3.2).
+		if obj.IsLock() {
+			if !cfg.CoAllocateLocks {
+				h.plan.Decisions = append(h.plan.Decisions, &Decision{
+					Kind:    KindLockPad,
+					Objects: []string{obj.Key()},
+					Globals: []string{obj.Sym.Name},
+					Reason:  "locks are always padded to a cache block",
+				})
+			}
+			continue
+		}
+
+		phase := os.DominantPhase()
+		v := os.PhaseView(phase, sum.Config.RSDLimit)
+		total := v.ReadW + v.WriteW
+
+		if total < cfg.FreqThreshold {
+			h.skip(obj.Key(), fmt.Sprintf("estimated frequency %.1f below threshold %.1f", total, cfg.FreqThreshold))
+			continue
+		}
+
+		perProcW := h.perProcessWrites(os, v)
+		if perProcW && v.WriteProcs.Count() > 1 || (obj.Kind == sideeffect.FieldObj && perProcW) {
+			if !h.readsAllowTransform(obj, v) {
+				h.skip(obj.Key(), "reads are shared with locality and writes do not dominate")
+				continue
+			}
+			switch obj.Kind {
+			case sideeffect.GlobalObj:
+				if cfg.DisableGroupTranspose {
+					h.skip(obj.Key(), "group&transpose disabled")
+					continue
+				}
+				d, extent, grouped := h.shapeDecision(os, v)
+				if d == nil {
+					h.skip(obj.Key(), "per-process pattern with no applicable reshape")
+					continue
+				}
+				if grouped {
+					groupCands = append(groupCands, groupCand{name: obj.Sym.Name, extent: extent})
+				} else {
+					h.plan.Decisions = append(h.plan.Decisions, d)
+				}
+			case sideeffect.HeapViaObj:
+				if cfg.DisableGroupTranspose {
+					h.skip(obj.Key(), "group&transpose disabled")
+					continue
+				}
+				h.plan.Decisions = append(h.plan.Decisions, &Decision{
+					Kind:    KindGroupTranspose,
+					Shape:   ShapeGroup,
+					Objects: []string{obj.Key()},
+					HeapVia: []string{obj.Sym.Name},
+					Reason:  "per-process heap sections padded to block boundaries",
+				})
+			case sideeffect.FieldObj:
+				if cfg.DisableIndirection {
+					h.skip(obj.Key(), "indirection disabled")
+					continue
+				}
+				f := obj.Field
+				if f.Type.Kind == types.Pointer {
+					h.skip(obj.Key(), "link fields define the structure and are not indirected")
+					continue
+				}
+				if f.Type.Kind == types.Array {
+					h.skip(obj.Key(), "array fields are not indirected")
+					continue
+				}
+				indFields[f.Parent.Name] = append(indFields[f.Parent.Name], f.Name)
+			default:
+				h.skip(obj.Key(), "no transformation for heap-type aggregate")
+			}
+			continue
+		}
+
+		// Pad & align: both reads and writes shared, no processor or
+		// spatial locality (§3.3).
+		sharedWrites := v.WriteProcs.Count() > 1 && !perProcW
+		sharedReads := v.ReadW == 0 || v.ReadProcs.Count() > 1
+		if sharedWrites && sharedReads && !v.SpatialWrites() && !v.SpatialReads() {
+			if cfg.DisablePadAlign {
+				h.skip(obj.Key(), "pad&align disabled")
+				continue
+			}
+			switch obj.Kind {
+			case sideeffect.GlobalObj:
+				h.plan.Decisions = append(h.plan.Decisions, &Decision{
+					Kind:    KindPadAlign,
+					Objects: []string{obj.Key()},
+					Globals: []string{obj.Sym.Name},
+					Reason:  "write-shared without processor or spatial locality",
+				})
+			case sideeffect.HeapViaObj:
+				h.plan.Decisions = append(h.plan.Decisions, &Decision{
+					Kind:    KindPadAlign,
+					Objects: []string{obj.Key()},
+					HeapVia: []string{obj.Sym.Name},
+					Reason:  "write-shared heap block without locality",
+				})
+			default:
+				h.skip(obj.Key(), "pad&align does not apply to fields")
+			}
+			continue
+		}
+
+		h.skip(obj.Key(), describePattern(v))
+	}
+
+	// Gather group candidates by extent: vectors with identical
+	// extents whose same-index elements belong to the same process
+	// are grouped into one record array (Figure 2a).
+	byExtent := map[int64][]string{}
+	for _, gc := range groupCands {
+		byExtent[gc.extent] = append(byExtent[gc.extent], gc.name)
+	}
+	extents := make([]int64, 0, len(byExtent))
+	for e := range byExtent {
+		extents = append(extents, e)
+	}
+	sort.Slice(extents, func(i, j int) bool { return extents[i] < extents[j] })
+	for _, e := range extents {
+		names := byExtent[e]
+		sort.Strings(names)
+		keys := make([]string, len(names))
+		for i, n := range names {
+			keys[i] = "global:" + n
+		}
+		h.plan.Decisions = append(h.plan.Decisions, &Decision{
+			Kind:    KindGroupTranspose,
+			Shape:   ShapeGroup,
+			Objects: keys,
+			Arrays:  names,
+			Period:  e,
+			Reason:  "pid-indexed vectors grouped into per-process records",
+		})
+	}
+
+	// Indirection decisions, one per struct.
+	structs := make([]string, 0, len(indFields))
+	for s := range indFields {
+		structs = append(structs, s)
+	}
+	sort.Strings(structs)
+	for _, s := range structs {
+		fields := indFields[s]
+		sort.Strings(fields)
+		keys := make([]string, len(fields))
+		for i, f := range fields {
+			keys[i] = "field:" + s + "." + f
+		}
+		h.plan.Decisions = append(h.plan.Decisions, &Decision{
+			Kind:    KindIndirection,
+			Objects: keys,
+			Struct:  s,
+			Fields:  fields,
+			Reason:  "per-process fields embedded in dynamic structures",
+		})
+	}
+
+	return h.plan
+}
+
+type heuristics struct {
+	sum  *sideeffect.Summary
+	info *types.Info
+	cfg  Config
+	plan *Plan
+}
+
+func (h *heuristics) skip(key, reason string) {
+	h.plan.Skipped = append(h.plan.Skipped, key+": "+reason)
+}
+
+// perProcessWrites decides whether the object's dominant-phase writes
+// are per-process: either the descriptors prove pairwise-disjoint
+// sections, or (for pointer-reached data) the write provenance is
+// per-process.
+func (h *heuristics) perProcessWrites(os *sideeffect.ObjectSummary, v *sideeffect.View) bool {
+	if v.WriteW <= 0 {
+		return false
+	}
+	switch os.Obj.Kind {
+	case sideeffect.FieldObj, sideeffect.HeapTypeObj:
+		return v.WriteProv == sideeffect.ProvPerProcess
+	default:
+		return v.PerProcessWrites(h.cfg.Nprocs)
+	}
+}
+
+// readsAllowTransform applies the read-side condition of §3.3: reads
+// must be per-process, absent, or shared without locality; shared
+// reads *with* locality require order-of-magnitude write dominance.
+func (h *heuristics) readsAllowTransform(obj sideeffect.Object, v *sideeffect.View) bool {
+	if v.ReadW == 0 {
+		return true
+	}
+	switch obj.Kind {
+	case sideeffect.FieldObj, sideeffect.HeapTypeObj:
+		if v.ReadProv == sideeffect.ProvPerProcess {
+			return true
+		}
+	default:
+		if v.PerProcessReads(h.cfg.Nprocs) {
+			return true
+		}
+	}
+	if !v.SpatialReads() {
+		return true // read-shared without spatial locality
+	}
+	return v.WriteW >= h.cfg.WriteDominance*v.ReadW
+}
+
+// shapeDecision derives the group & transpose shape for a global array
+// from its dominant write descriptor. It returns (decision, extent,
+// grouped): grouped decisions are emitted later so same-extent vectors
+// can be gathered into one record.
+func (h *heuristics) shapeDecision(os *sideeffect.ObjectSummary, v *sideeffect.View) (*Decision, int64, bool) {
+	sym := os.Obj.Sym
+	dims, ok := types.ArrayDims(sym.Type, h.cfg.Nprocs)
+	if !ok || len(dims) == 0 {
+		return nil, 0, false
+	}
+	w := heaviest(v.Writes)
+	if w == nil || len(w.R) != len(dims) {
+		return nil, 0, false
+	}
+	r := w.R
+
+	switch len(dims) {
+	case 1:
+		a := r[0]
+		if a.IsPoint() && a.Base.Pid != 0 {
+			// One element per process: group candidate.
+			return &Decision{}, dims[0], true
+		}
+		s0 := a.Section(0)
+		s1 := a.Section(1)
+		if !s0.Known || !s1.Known || !s0.Exact {
+			return nil, 0, false
+		}
+		if s0.Stride > 1 && s1.Lo-s0.Lo != 0 && s1.Lo-s0.Lo < s0.Stride {
+			// Cyclic partition: stride P, process p owns residue class
+			// lo(p) mod P.
+			return &Decision{
+				Kind:    KindGroupTranspose,
+				Shape:   ShapeCyclic,
+				Objects: []string{os.Obj.Key()},
+				Arrays:  []string{sym.Name},
+				Period:  s0.Stride,
+				Reason:  fmt.Sprintf("cyclic partition with period %d regrouped per process", s0.Stride),
+			}, 0, false
+		}
+		if s0.Stride == 1 {
+			chunk := s1.Lo - s0.Lo
+			span := s0.Hi - s0.Lo + 1
+			if chunk > 0 && span <= chunk {
+				return &Decision{
+					Kind:    KindGroupTranspose,
+					Shape:   ShapeBlock,
+					Objects: []string{os.Obj.Key()},
+					Arrays:  []string{sym.Name},
+					Period:  chunk,
+					Reason:  fmt.Sprintf("contiguous per-process chunks of %d elements aligned to blocks", chunk),
+				}, 0, false
+			}
+		}
+		return nil, 0, false
+	case 2:
+		switch r.PidDim() {
+		case 1:
+			return &Decision{
+				Kind:    KindGroupTranspose,
+				Shape:   ShapeTranspose,
+				Objects: []string{os.Obj.Key()},
+				Arrays:  []string{sym.Name},
+				Reason:  "pid indexes the minor dimension: transpose",
+			}, 0, false
+		case 0:
+			return &Decision{
+				Kind:    KindGroupTranspose,
+				Shape:   ShapeAlignRows,
+				Objects: []string{os.Obj.Key()},
+				Arrays:  []string{sym.Name},
+				Reason:  "process-major rows aligned and padded to blocks",
+			}, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+func heaviest(list []rsd.Weighted) *rsd.Weighted {
+	var best *rsd.Weighted
+	for i := range list {
+		if best == nil || list[i].Weight > best.Weight {
+			best = &list[i]
+		}
+	}
+	return best
+}
+
+// describePattern explains why no transformation applied.
+func describePattern(v *sideeffect.View) string {
+	switch {
+	case v.WriteW == 0:
+		return "read-only in dominant phase"
+	case v.WriteProcs.Count() <= 1:
+		return "written by a single process"
+	case v.SpatialWrites():
+		return "write-shared but with spatial locality (e.g. unknown-base unit-stride partition)"
+	default:
+		return "no heuristic matched"
+	}
+}

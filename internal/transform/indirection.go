@@ -1,0 +1,199 @@
+package transform
+
+import (
+	"fmt"
+
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/token"
+	"falseshare/internal/lang/types"
+)
+
+// Operator shorthands for synthesized code.
+const (
+	ltOp   = token.LT
+	plusOp = token.PLUS
+)
+
+// applyIndirection implements the indirection transformation (Figure
+// 2b): the per-process fields of a dynamically allocated structure are
+// replaced by pointers into per-process memory areas.
+//
+// Concretely, for each field f of struct S in the decision:
+//
+//  1. the field's type T becomes T*;
+//  2. every access x->f / x.f becomes *(x->f) / *(x.f);
+//  3. after every allocation of an S (alloc(struct S) or
+//     alloc(struct S, n)), code is injected that allocates the field's
+//     storage from the allocating process's arena:
+//     p->f = allocpp(T);   or a loop over the n elements.
+//
+// The two run-time costs the paper names — extra space for the
+// pointers and one extra memory access per reference — arise naturally
+// from the rewritten program.
+func (a *applier) applyIndirection(d *Decision) (bool, error) {
+	sd := a.file.Struct(d.Struct)
+	si := a.info.Structs[d.Struct]
+	if sd == nil || si == nil {
+		return a.skip(d, "struct not found")
+	}
+	// Structs instantiated statically cannot be retrofitted with
+	// per-process areas (the owner is unknown at initialization).
+	for _, g := range a.file.Globals {
+		sym := a.info.Globals[g.Name]
+		if sym == nil {
+			continue
+		}
+		if et := types.ElemType(sym.Type); et.Kind == types.StructK && et.Struct.Name == d.Struct {
+			return a.skip(d, fmt.Sprintf("struct %q has static instances (%s)", d.Struct, g.Name))
+		}
+	}
+
+	fieldSet := map[string]bool{}
+	origType := map[string]*ast.TypeExpr{}
+	for _, f := range d.Fields {
+		fd := sd.Field(f)
+		if fd == nil {
+			return a.skip(d, fmt.Sprintf("field %q not found", f))
+		}
+		if len(fd.Dims) > 0 {
+			return a.skip(d, fmt.Sprintf("field %q is an array", f))
+		}
+		fieldSet[f] = true
+		origType[f] = fd.Type.Clone()
+	}
+
+	// (2) Wrap every access to a targeted field in a dereference. The
+	// pre-transformation FieldUses map identifies the accesses; nodes
+	// injected below are not in the map and stay unwrapped.
+	ast.RewriteFile(a.file, func(e ast.Expr) ast.Expr {
+		fe, ok := e.(*ast.FieldExpr)
+		if !ok {
+			return e
+		}
+		f := a.info.FieldUses[fe]
+		if f == nil || f.Parent != si || !fieldSet[fe.Name] {
+			return e
+		}
+		return &ast.DerefExpr{P: fe.P, X: fe}
+	})
+
+	// (1) Retype the fields.
+	for _, f := range d.Fields {
+		sd.Field(f).Type.Stars++
+	}
+
+	// (3) Inject arena allocations after every allocation site.
+	for _, fn := range a.file.Funcs {
+		a.injectInStmt(fn.Body, d, origType)
+	}
+	return true, nil
+}
+
+// injectInStmt walks statements, expanding allocation sites of the
+// decision's struct. Blocks get statements appended in place; naked
+// control-statement bodies are wrapped in blocks first.
+func (a *applier) injectInStmt(s ast.Stmt, d *Decision, origType map[string]*ast.TypeExpr) {
+	switch x := s.(type) {
+	case *ast.BlockStmt:
+		var out []ast.Stmt
+		for _, st := range x.List {
+			a.injectInStmt(st, d, origType)
+			out = append(out, st)
+			out = append(out, a.allocInjections(st, d, origType)...)
+		}
+		x.List = out
+	case *ast.IfStmt:
+		x.Then = a.wrapIfAllocSite(x.Then, d, origType)
+		if x.Else != nil {
+			x.Else = a.wrapIfAllocSite(x.Else, d, origType)
+		}
+	case *ast.WhileStmt:
+		x.Body = a.wrapIfAllocSite(x.Body, d, origType)
+	case *ast.ForStmt:
+		x.Body = a.wrapIfAllocSite(x.Body, d, origType)
+	}
+}
+
+// wrapIfAllocSite processes a control-statement body: block bodies
+// recurse, and a naked alloc-site statement is wrapped in a block so
+// injections have somewhere to live.
+func (a *applier) wrapIfAllocSite(s ast.Stmt, d *Decision, origType map[string]*ast.TypeExpr) ast.Stmt {
+	if b, ok := s.(*ast.BlockStmt); ok {
+		a.injectInStmt(b, d, origType)
+		return b
+	}
+	a.injectInStmt(s, d, origType)
+	if inj := a.allocInjections(s, d, origType); len(inj) > 0 {
+		return &ast.BlockStmt{P: s.Pos(), List: append([]ast.Stmt{s}, inj...)}
+	}
+	return s
+}
+
+// allocInjections returns the statements to insert after st when it
+// allocates the decision's struct.
+func (a *applier) allocInjections(st ast.Stmt, d *Decision, origType map[string]*ast.TypeExpr) []ast.Stmt {
+	var lhs ast.Expr
+	var alloc *ast.AllocExpr
+	switch x := st.(type) {
+	case *ast.AssignStmt:
+		if al, ok := x.RHS.(*ast.AllocExpr); ok {
+			lhs, alloc = x.LHS, al
+		}
+	case *ast.DeclStmt:
+		if x.Init != nil {
+			if al, ok := x.Init.(*ast.AllocExpr); ok {
+				lhs = ast.NewIdent(x.Decl.Name)
+				alloc = al
+			}
+		}
+	}
+	if alloc == nil || !alloc.Type.Struct || alloc.Type.Name != d.Struct || alloc.Type.Stars != 0 {
+		return nil
+	}
+
+	mkAlloc := func(f string) *ast.AllocExpr {
+		return &ast.AllocExpr{Type: origType[f].Clone(), PerProc: true}
+	}
+
+	if alloc.Count == nil {
+		// p = alloc(struct S);  =>  p->f = allocpp(T);
+		var out []ast.Stmt
+		for _, f := range d.Fields {
+			out = append(out, &ast.AssignStmt{
+				LHS: &ast.FieldExpr{X: ast.CloneExpr(lhs), Name: f, Arrow: true},
+				RHS: mkAlloc(f),
+			})
+		}
+		return out
+	}
+
+	// p = alloc(struct S, n);  =>
+	//   for (int __gi = 0; __gi < n; __gi = __gi + 1) {
+	//       p[__gi].f = allocpp(T);
+	//   }
+	a.gtSeq++
+	iv := fmt.Sprintf("__ind%d", a.gtSeq)
+	var body []ast.Stmt
+	for _, f := range d.Fields {
+		body = append(body, &ast.AssignStmt{
+			LHS: &ast.FieldExpr{
+				X:    &ast.IndexExpr{X: ast.CloneExpr(lhs), Index: ast.NewIdent(iv)},
+				Name: f,
+			},
+			RHS: mkAlloc(f),
+		})
+	}
+	loop := &ast.ForStmt{
+		Init: &ast.DeclStmt{
+			Decl: &ast.VarDecl{Storage: ast.Auto, Type: &ast.TypeExpr{Name: "int"}, Name: iv},
+			Init: ast.NewInt(0),
+		},
+		Cond: ast.NewBinary(ltOp, ast.NewIdent(iv), ast.CloneExpr(alloc.Count)),
+		Post: &ast.AssignStmt{
+			LHS: ast.NewIdent(iv),
+			RHS: ast.NewBinary(plusOp, ast.NewIdent(iv), ast.NewInt(1)),
+		},
+		Body: &ast.BlockStmt{List: body},
+	}
+	return []ast.Stmt{loop}
+}

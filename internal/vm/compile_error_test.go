@@ -1,0 +1,145 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/lang/parser"
+	"falseshare/internal/lang/types"
+	"falseshare/internal/layout"
+)
+
+// compileRaw runs the front end and vm compiler without core's
+// convenience wrapper, so tests can reach vm-level errors.
+func compileRaw(t *testing.T, src string, nprocs int) (*Program, error) {
+	t.Helper()
+	f, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := types.Check(f)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	lay, err := layout.Compute(info, layout.NewDirectives(64), int64(nprocs))
+	if err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	return Compile(f, info, lay, nprocs)
+}
+
+func TestCompileProducesLineInfo(t *testing.T) {
+	src := `
+shared int a[4];
+void main() {
+    a[0] = 1;
+}
+`
+	prog, err := compileRaw(t, src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := prog.Funcs[prog.Main]
+	hasLine := false
+	for _, in := range main.Code {
+		if in.Line == 4 {
+			hasLine = true
+		}
+	}
+	if !hasLine {
+		t.Errorf("no instruction carries the assignment's line:\n%s", main.Disasm())
+	}
+}
+
+func TestCompileBoundsChecksEmitted(t *testing.T) {
+	src := `
+shared int a[7];
+void main() {
+    for (int i = 0; i < 7; i = i + 1) {
+        a[i] = i;
+    }
+}
+`
+	prog, err := compileRaw(t, src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range prog.Funcs[prog.Main].Code {
+		if in.Op == OpCheck && in.A == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bounds check missing:\n%s", prog.Funcs[prog.Main].Disasm())
+	}
+}
+
+func TestCompileNprocsSizedArrays(t *testing.T) {
+	src := `
+shared int per[2 * nprocs];
+void main() {
+    per[pid] = 1;
+    per[pid + nprocs] = 2;
+}
+`
+	for _, n := range []int{1, 7, 56} {
+		prog, err := compileRaw(t, src, n)
+		if err != nil {
+			t.Fatalf("nprocs=%d: %v", n, err)
+		}
+		m := New(prog)
+		if err := m.Run(nil); err != nil {
+			t.Fatalf("nprocs=%d run: %v", n, err)
+		}
+	}
+}
+
+func TestMachineAccessors(t *testing.T) {
+	src := `
+shared int x;
+shared double d;
+void main() {
+    if (pid == 0) {
+        x = 42;
+        d = 1.25;
+    }
+}
+`
+	f, _ := parser.Parse(src)
+	info, _ := types.Check(f)
+	lay, _ := layout.Compute(info, layout.NewDirectives(64), 2)
+	prog, err := Compile(f, info, lay, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(prog)
+	if err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadInt(lay.Var("x").Base); got != 42 {
+		t.Errorf("ReadInt = %d", got)
+	}
+	if got := m.ReadDouble(lay.Var("d").Base); got != 1.25 {
+		t.Errorf("ReadDouble = %v", got)
+	}
+	if len(m.Mem()) != int(prog.SharedEnd) {
+		t.Errorf("Mem length mismatch")
+	}
+	// Counters populated.
+	for _, p := range m.Procs() {
+		if p.Instrs == 0 {
+			t.Errorf("proc %d executed nothing", p.ID)
+		}
+	}
+}
+
+func TestRunErrorFormatting(t *testing.T) {
+	e := &RunError{Proc: 3, Fn: "main", Line: 7, Msg: "boom"}
+	s := e.Error()
+	for _, want := range []string{"proc 3", "main:7", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("error %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+// Mp3d reproduces the sharing structure of the SPLASH rarefied-fluid
+// simulator (Table 1: 1653 lines, versions C and P only). Mp3d is the
+// suite's notorious locality disaster, and the paper's Table 3 shows
+// it: the original tops out at 1.3x on 4 processors while the
+// compiler-restructured version reaches 2.9x on 28.
+//
+//   - space[] holds per-cell occupancy updated through particle
+//     positions — data-dependent indices, write-shared with no
+//     processor or spatial locality. The compiler pads and aligns it.
+//   - pvel[] holds per-particle state in contiguous per-process
+//     chunks that are not block-aligned; the compiler reshapes the
+//     vector so each process's chunk starts on a block boundary.
+//   - coll_lock sits right next to the collision counter it protects
+//     (§5: "Mp3d suffered from both"); the compiler pads it away.
+func init() {
+	register(&Benchmark{
+		Name:        "mp3d",
+		Description: "Rarefied fluid flow",
+		PaperLines:  1653,
+		HasN:        false,
+		HasP:        true,
+		FigureRef:   "Table 3",
+		Source:      mp3dSource,
+	})
+}
+
+const (
+	mp3dCells     = 509 // prime, for the position hash
+	mp3dParticles = 3840
+)
+
+func mp3dSource(scale int) string {
+	steps := scaled(12, scale)
+	return sprintf(`
+// mp3d (P/original): space cells updated through particle positions;
+// unaligned per-particle chunks; co-allocated collision lock.
+shared int space[%[1]d];
+shared double pvel[%[2]d];
+shared int collisions;
+lock coll_lock;
+
+void main() {
+    int chunk;
+    int lo;
+    chunk = %[2]d / nprocs;
+    lo = pid * chunk;
+    if (pid == 0) {
+        for (int i = 0; i < %[2]d; i = i + 1) {
+            pvel[i] = i %% 17 + 1;
+        }
+    }
+    barrier;
+    for (int s = 0; s < %[3]d; s = s + 1) {
+        for (int i = lo; i < lo + chunk; i = i + 1) {
+            // Move the particle: update its velocity...
+            pvel[i] = pvel[i] * 1.0625;
+            // ...and the occupancy of the space cell it lands in (a
+            // data-dependent, locality-free index).
+            int cell;
+            cell = (i * 37 + s * 101 + pid * 13) %% %[1]d;
+            space[cell] = space[cell] + 1;
+            if (space[cell] %% 64 == 63) {
+                acquire(coll_lock);
+                collisions = collisions + 1;
+                release(coll_lock);
+            }
+        }
+        barrier;
+    }
+}
+`, mp3dCells, mp3dParticles, steps)
+}

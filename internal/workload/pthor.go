@@ -1,0 +1,69 @@
+package workload
+
+// Pthor reproduces the sharing structure of the SPLASH distributed
+// logic simulator (Table 1: 9420 lines, versions C and P only). Pthor
+// scales poorly for everyone — Table 3: C=2.8 at 4 processors,
+// P=2.2 at 4 — because each timestep serializes on a shared event
+// list behind barriers; the compiler still finds what §5 lists as the
+// programmer's misses: group & transpose on the per-process queue
+// heads/tails and pad & align on the global event counter.
+func init() {
+	register(&Benchmark{
+		Name:        "pthor",
+		Description: "Circuit simulator",
+		PaperLines:  9420,
+		HasN:        false,
+		HasP:        true,
+		FigureRef:   "Table 3",
+		Source:      pthorSource,
+	})
+}
+
+const (
+	pthorElements = 768
+	pthorEvents   = 256
+)
+
+func pthorSource(scale int) string {
+	steps := scaled(30, scale)
+	return sprintf(`
+// pthor (P/original): per-process event queues with unpadded heads
+// and tails, a hot global event counter, and a serializing shared
+// event list.
+shared int qhead[64];
+shared int qtail[64];
+shared int evcount;
+shared int eventlist[%[2]d];
+shared int elemstate[%[1]d];
+lock evlock;
+
+void main() {
+    int mine;
+    mine = %[1]d / nprocs;
+    for (int s = 0; s < %[3]d; s = s + 1) {
+        // Evaluate my elements for this timestep.
+        for (int i = 0; i < mine; i = i + 1) {
+            int e;
+            e = pid * mine + i;
+            elemstate[e] = elemstate[e] + s;
+            qtail[pid] = qtail[pid] + 1;
+            evcount = evcount + 1;
+        }
+        barrier;
+        // Merge into the shared event list (serialized: everyone
+        // touches the same region — the program's real bottleneck).
+        acquire(evlock);
+        for (int k = 0; k < 16; k = k + 1) {
+            eventlist[(s * 16 + k) %% %[2]d] = eventlist[(s * 16 + k) %% %[2]d] + pid;
+        }
+        release(evlock);
+        barrier;
+        // Drain my queue.
+        while (qhead[pid] < qtail[pid]) {
+            qhead[pid] = qhead[pid] + 1;
+        }
+        barrier;
+    }
+}
+`, pthorElements, pthorEvents, steps)
+}

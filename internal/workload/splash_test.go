@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"falseshare/internal/core"
+	"falseshare/internal/transform"
+)
+
+// evaluateSplash restructures one of the original-SPLASH-four
+// programs: base source is the programmer version; C comes from the
+// compiler.
+func evaluateSplash(t *testing.T, name string, scale int) (*core.Result, fsPair) {
+	t.Helper()
+	b := Get(name)
+	if b == nil {
+		t.Fatalf("%s not registered", name)
+	}
+	if b.HasN {
+		t.Fatalf("%s should be a C/P-only program", name)
+	}
+	const nprocs, block = 12, 128
+	res, err := core.Restructure(b.Source(scale), core.Options{Nprocs: nprocs, BlockSize: block})
+	if err != nil {
+		t.Fatalf("%s: restructure: %v", name, err)
+	}
+	sp := measure(t, res.Original, nprocs, block)
+	sc := measure(t, res.Transformed, nprocs, block)
+	return res, fsPair{p: sp.FalseShare, c: sc.FalseShare,
+		pRate: sp.MissRate(), cRate: sc.MissRate()}
+}
+
+type fsPair struct {
+	p, c         int64
+	pRate, cRate float64
+}
+
+func TestLocusRoute(t *testing.T) {
+	res, fs := evaluateSplash(t, "locusroute", 1)
+	ak := appliedKinds(res)
+	if !ak[transform.KindLockPad] {
+		t.Fatalf("locusroute wants lock padding:\n%s", res.Plan)
+	}
+	// The hand-grouped stats records must not be re-transformed.
+	for _, d := range res.Applied {
+		for _, obj := range d.Objects {
+			if obj == "global:stats" {
+				t.Errorf("stats already hand-optimized, must not be touched: %s", d)
+			}
+		}
+	}
+	t.Logf("locusroute: FS P=%d C=%d, miss rate %.3f%% -> %.3f%%", fs.p, fs.c, 100*fs.pRate, 100*fs.cRate)
+	if fs.c >= fs.p {
+		t.Errorf("compiler should still shave false sharing: C=%d P=%d", fs.c, fs.p)
+	}
+	// The gap is small by design (paper: 12.3 vs 12.0).
+	if fs.p > 0 && float64(fs.p-fs.c)/float64(fs.p+1) > 0.98 && fs.p > 10000 {
+		t.Logf("note: gap larger than the paper suggests")
+	}
+}
+
+func TestMp3d(t *testing.T) {
+	res, fs := evaluateSplash(t, "mp3d", 1)
+	ak := appliedKinds(res)
+	if !ak[transform.KindPadAlign] {
+		t.Fatalf("mp3d wants pad&align on space[]:\n%s", res.Plan)
+	}
+	if !ak[transform.KindLockPad] {
+		t.Errorf("mp3d wants lock padding:\n%s", res.Plan)
+	}
+	padSpace := false
+	for _, d := range res.Plan.ByKind(transform.KindPadAlign) {
+		for _, g := range d.Globals {
+			if g == "space" {
+				padSpace = true
+			}
+		}
+	}
+	if !padSpace {
+		t.Errorf("space[] not padded:\n%s", res.Plan)
+	}
+	t.Logf("mp3d: FS P=%d C=%d, miss rate %.3f%% -> %.3f%%", fs.p, fs.c, 100*fs.pRate, 100*fs.cRate)
+	// Big gap expected (paper: 1.3 vs 2.9 maximum speedup).
+	if fs.c*2 >= fs.p {
+		t.Errorf("compiler should remove most of mp3d's FS: C=%d P=%d", fs.c, fs.p)
+	}
+}
+
+func TestPthor(t *testing.T) {
+	res, fs := evaluateSplash(t, "pthor", 1)
+	ak := appliedKinds(res)
+	if !ak[transform.KindGroupTranspose] {
+		t.Fatalf("pthor wants G&T on qhead/qtail:\n%s", res.Plan)
+	}
+	if !ak[transform.KindPadAlign] {
+		t.Errorf("pthor wants pad&align on evcount:\n%s", res.Plan)
+	}
+	t.Logf("pthor: FS P=%d C=%d, miss rate %.3f%% -> %.3f%%", fs.p, fs.c, 100*fs.pRate, 100*fs.cRate)
+	if fs.c >= fs.p {
+		t.Errorf("compiler should reduce pthor FS: C=%d P=%d", fs.c, fs.p)
+	}
+}
+
+func TestWater(t *testing.T) {
+	res, fs := evaluateSplash(t, "water", 1)
+	ak := appliedKinds(res)
+	if !ak[transform.KindGroupTranspose] {
+		t.Fatalf("water wants G&T on kin/pot:\n%s", res.Plan)
+	}
+	if !ak[transform.KindLockPad] {
+		t.Errorf("water wants lock padding:\n%s", res.Plan)
+	}
+	t.Logf("water: FS P=%d C=%d, miss rate %.3f%% -> %.3f%%", fs.p, fs.c, 100*fs.pRate, 100*fs.cRate)
+	if fs.c*2 >= fs.p {
+		t.Errorf("compiler should remove most of water's FS: C=%d P=%d", fs.c, fs.p)
+	}
+}

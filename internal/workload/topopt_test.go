@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"falseshare/internal/transform"
+)
+
+func TestTopopt(t *testing.T) {
+	b := Get("topopt")
+	res, sn, sc := evaluate(t, b, 1)
+
+	ak := appliedKinds(res)
+	if !ak[transform.KindGroupTranspose] {
+		t.Fatalf("topopt wants group&transpose (gain matrix):\n%s", res.Plan)
+	}
+	if !ak[transform.KindIndirection] {
+		t.Errorf("topopt wants indirection (cell tallies):\n%s", res.Plan)
+	}
+	// gain must be transposed specifically.
+	foundTranspose := false
+	for _, d := range res.Plan.ByKind(transform.KindGroupTranspose) {
+		if d.Shape == transform.ShapeTranspose && len(d.Arrays) == 1 && d.Arrays[0] == "gain" {
+			foundTranspose = true
+		}
+	}
+	if !foundTranspose {
+		t.Errorf("gain matrix not transposed:\n%s", res.Plan)
+	}
+	// The revolving moves[] buffer must NOT be transformed.
+	for _, d := range res.Applied {
+		for _, obj := range d.Objects {
+			if obj == "global:moves" {
+				t.Errorf("moves must stay untransformed (revolving partition): %s", d)
+			}
+		}
+	}
+
+	red := fsReduction(sn, sc)
+	t.Logf("topopt: FS %d -> %d (%.1f%% reduction), miss rate %.3f%% -> %.3f%%",
+		sn.FalseShare, sc.FalseShare, 100*red, 100*sn.MissRate(), 100*sc.MissRate())
+	// Paper: 79.9% with residual from the revolving buffer.
+	if red < 0.55 || red > 0.95 {
+		t.Errorf("topopt FS reduction %.1f%%, want 55-95%% (paper: 79.9%%)", 100*red)
+	}
+	if sc.FalseShare == 0 {
+		t.Errorf("topopt must retain residual false sharing (revolving buffer)")
+	}
+}

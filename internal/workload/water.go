@@ -1,0 +1,73 @@
+package workload
+
+// Water reproduces the sharing structure of the SPLASH N-body
+// molecular dynamics code (Table 1: 1451 lines, versions C and P
+// only). Table 3 shows one of the paper's largest compiler-vs-
+// programmer gaps: C=9.9 at 40 processors against P=4.6 at 12.
+//
+//   - kin[] and pot[] are pid-indexed partial-sum vectors updated in
+//     the force inner loop; the original leaves them packed (they
+//     false-share pervasively), and the compiler groups them.
+//   - forces[] is partitioned into contiguous unaligned per-process
+//     chunks; the compiler block-aligns the chunks.
+//   - virial_lock is co-allocated with the global virial sum; the
+//     compiler pads it.
+//   - Neighbour interactions read across chunk boundaries: bounded
+//     true sharing that correctly survives restructuring.
+func init() {
+	register(&Benchmark{
+		Name:        "water",
+		Description: "N-body molecular dynamics",
+		PaperLines:  1451,
+		HasN:        false,
+		HasP:        true,
+		FigureRef:   "Table 3",
+		Source:      waterSource,
+	})
+}
+
+const waterMolecules = 1920
+
+func waterSource(scale int) string {
+	steps := scaled(10, scale)
+	return sprintf(`
+// water (P/original): packed partial-sum vectors, unaligned chunks,
+// co-allocated virial lock.
+shared double forces[%[1]d];
+shared double kin[64];
+shared double pot[64];
+shared double virial;
+lock virial_lock;
+
+void main() {
+    int chunk;
+    int lo;
+    chunk = %[1]d / nprocs;
+    lo = pid * chunk;
+    if (pid == 0) {
+        for (int i = 0; i < %[1]d; i = i + 1) {
+            forces[i] = i %% 13 + 1;
+        }
+    }
+    barrier;
+    for (int s = 0; s < %[2]d; s = s + 1) {
+        for (int i = lo; i < lo + chunk; i = i + 1) {
+            // Interact with the next two molecules (may cross the
+            // chunk boundary: true sharing at the seams).
+            double f;
+            f = forces[i] * 0.5;
+            if (i + 2 < %[1]d) {
+                f = f + forces[i + 1] * 0.25 + forces[i + 2] * 0.125;
+            }
+            forces[i] = forces[i] + f * 0.0625;
+            kin[pid] = kin[pid] + f * f;
+            pot[pid] = pot[pid] + f;
+        }
+        acquire(virial_lock);
+        virial = virial + kin[pid] * 0.001;
+        release(virial_lock);
+        barrier;
+    }
+}
+`, waterMolecules, steps)
+}
