@@ -6,14 +6,17 @@
 //
 //	fsc [-p N] [-b BLOCK] [-summary] [-pdv] [-plan] [-src] file.parc
 //	fsc -bench NAME ...      # use a bundled benchmark as input
+//	fsc -bench NAME -report run.json -v    # machine-readable manifest
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"falseshare/internal/core"
+	"falseshare/internal/obs"
 	"falseshare/internal/workload"
 )
 
@@ -27,23 +30,43 @@ func main() {
 		pdv     = flag.Bool("pdv", false, "print discovered PDVs")
 		plan    = flag.Bool("plan", true, "print the transformation plan")
 		src     = flag.Bool("src", false, "print the transformed source")
+
+		report  = flag.String("report", "", "write a JSON run manifest (per-stage timings and counters) to this file")
+		verbose = flag.Bool("v", false, "log pipeline progress to stderr")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		stop, err := obs.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+
+	var rec *obs.Recorder
+	if *report != "" || *verbose {
+		rec = obs.NewRecorder()
+		rec.Verbose = *verbose
+		obs.Install(rec)
+	}
 
 	var source string
 	switch {
 	case *bench != "":
 		b := workload.Get(*bench)
 		if b == nil {
-			fmt.Fprintf(os.Stderr, "fsc: unknown benchmark %q\n", *bench)
+			fmt.Fprintf(os.Stderr, "fsc: unknown benchmark %q (choose from: %s)\n",
+				*bench, strings.Join(workload.Names(), ", "))
 			os.Exit(1)
 		}
 		source = b.Source(*scale)
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fsc: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		source = string(data)
 	default:
@@ -54,8 +77,7 @@ func main() {
 
 	res, err := core.Restructure(source, core.Options{Nprocs: *nprocs, BlockSize: *block})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fsc: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	if *pdv {
@@ -76,4 +98,37 @@ func main() {
 		fmt.Println("--- transformed program ---")
 		fmt.Print(res.Transformed.Source)
 	}
+
+	if *report != "" {
+		rep := rec.Report("fsc")
+		rep.Config = map[string]any{
+			"nprocs": *nprocs,
+			"block":  *block,
+			"bench":  *bench,
+			"scale":  *scale,
+		}
+		decisions := make([]string, 0, len(res.Plan.Decisions))
+		for _, d := range res.Plan.Decisions {
+			decisions = append(decisions, d.String())
+		}
+		rep.AddData("decisions", decisions)
+		rep.AddData("skipped", res.Plan.Skipped)
+		rep.AddData("applied", len(res.Applied))
+		if err := rep.WriteFile(*report); err != nil {
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "fsc: report -> %s\n", *report)
+		}
+	}
+	if *memprof != "" {
+		if err := obs.WriteHeapProfile(*memprof); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fsc: %v\n", err)
+	os.Exit(1)
 }

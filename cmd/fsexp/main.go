@@ -6,6 +6,8 @@
 //	fsexp -fig3 -table2 -fig4 -table3 -aggregates    # pick any subset
 //	fsexp -all                                        # everything
 //	fsexp -all -quick                                 # reduced sweeps
+//	fsexp -all -reportdir runs/                       # one JSON manifest
+//	                                                  # per figure/table
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"sort"
 
 	"falseshare/internal/experiments"
+	"falseshare/internal/obs"
 	"falseshare/internal/sim/ksr"
 )
 
@@ -31,6 +34,11 @@ func main() {
 		quick  = flag.Bool("quick", false, "smaller processor sweeps (faster)")
 		csv    = flag.Bool("csv", false, "emit CSV instead of formatted tables (fig3/fig4/table2)")
 		scale  = flag.Int("scale", 1, "workload scale")
+
+		reportDir = flag.String("reportdir", "", "write one JSON run manifest per figure/table into this directory")
+		verbose   = flag.Bool("v", false, "log experiment progress to stderr")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 	if *all {
@@ -41,6 +49,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cpuprof != "" {
+		stop, err := obs.StartCPUProfile(*cpuprof)
+		if err != nil {
+			check(err)
+		}
+		defer stop()
+	}
+	if *verbose {
+		rec := obs.NewRecorder()
+		rec.Verbose = true
+		obs.Install(rec)
+	}
+
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	if *quick {
@@ -49,12 +70,31 @@ func main() {
 	}
 	machine := ksr.DefaultConfig()
 
+	// run executes one experiment. With -reportdir every run records
+	// into its own manifest (stage spans plus the result rows) written
+	// as <dir>/<name>.json, so benchmark trajectories diff as JSON.
+	run := func(name string, fn func() (any, error)) any {
+		if *reportDir == "" {
+			v, err := fn()
+			check(err)
+			return v
+		}
+		rep, err := experiments.RunManifest("fsexp", name, experiments.ConfigMap(cfg), fn)
+		check(err)
+		path, werr := experiments.WriteManifest(*reportDir, name, rep)
+		check(werr)
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "fsexp: %s manifest -> %s\n", name, path)
+		}
+		v := rep.Data["result"]
+		return v
+	}
+
 	if *table1 {
 		fmt.Println(experiments.RenderTable1(experiments.Table1()))
 	}
 	if *fig3 {
-		cells, err := experiments.Figure3(cfg)
-		check(err)
+		cells := run("fig3", func() (any, error) { return experiments.Figure3(cfg) }).([]experiments.Fig3Cell)
 		if *csv {
 			fmt.Print(experiments.CSVFigure3(cells))
 		} else {
@@ -62,13 +102,11 @@ func main() {
 		}
 	}
 	if *aggr {
-		a, err := experiments.ComputeAggregates(cfg, 128)
-		check(err)
+		a := run("aggregates", func() (any, error) { return experiments.ComputeAggregates(cfg, 128) }).(*experiments.Aggregates)
 		fmt.Println(a.Render())
 	}
 	if *table2 {
-		rows, err := experiments.Table2(cfg)
-		check(err)
+		rows := run("table2", func() (any, error) { return experiments.Table2(cfg) }).([]experiments.Table2Row)
 		if *csv {
 			fmt.Print(experiments.CSVTable2(rows))
 		} else {
@@ -76,8 +114,7 @@ func main() {
 		}
 	}
 	if *fig4 {
-		curves, err := experiments.Figure4(cfg, machine)
-		check(err)
+		curves := run("fig4", func() (any, error) { return experiments.Figure4(cfg, machine) }).(map[string][]experiments.Curve)
 		names := make([]string, 0, len(curves))
 		for n := range curves {
 			names = append(names, n)
@@ -95,14 +132,16 @@ func main() {
 		}
 	}
 	if *table3 {
-		rows, err := experiments.Table3(cfg, machine)
-		check(err)
+		rows := run("table3", func() (any, error) { return experiments.Table3(cfg, machine) }).([]experiments.Table3Row)
 		fmt.Println(experiments.RenderTable3(rows))
 	}
 	if *ccost {
-		rows, err := experiments.CompileCost(*scale, 12, 5)
-		check(err)
+		rows := run("compilecost", func() (any, error) { return experiments.CompileCost(*scale, 12, 5) }).([]experiments.CompileCostRow)
 		fmt.Println(experiments.RenderCompileCost(rows))
+	}
+
+	if *memprof != "" {
+		check(obs.WriteHeapProfile(*memprof))
 	}
 }
 

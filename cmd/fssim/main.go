@@ -8,21 +8,29 @@
 //	fssim -bench pverify -transformed
 //	fssim -bench mp3d -save-trace mp3d.trc     # store the reference trace
 //	fssim -replay mp3d.trc -blocks 32,256      # re-simulate a stored trace
+//	fssim -bench pverify -report run.json -v   # machine-readable manifest
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
 	"falseshare/internal/core"
+	"falseshare/internal/experiments"
+	"falseshare/internal/obs"
 	"falseshare/internal/sim/cache"
 	"falseshare/internal/sim/trace"
 	"falseshare/internal/vm"
 	"falseshare/internal/workload"
 )
+
+// sampleEvery is the -v progress-streaming period, in simulated block
+// references.
+const sampleEvery = 2_000_000
 
 func main() {
 	var (
@@ -33,8 +41,28 @@ func main() {
 		transformed = flag.Bool("transformed", false, "run the compiler-restructured version")
 		saveTrace   = flag.String("save-trace", "", "also store the reference trace to this file")
 		replay      = flag.String("replay", "", "simulate a stored trace instead of executing a program")
+
+		report  = flag.String("report", "", "write a JSON run manifest (stage timings, per-block and per-processor stats) to this file")
+		verbose = flag.Bool("v", false, "log pipeline and simulation progress to stderr")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		stop, err := obs.StartCPUProfile(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+	}
+
+	var rec *obs.Recorder
+	if *report != "" || *verbose {
+		rec = obs.NewRecorder()
+		rec.Verbose = *verbose
+		obs.Install(rec)
+	}
 
 	var blocks []int64
 	for _, s := range strings.Split(*blockList, ",") {
@@ -46,6 +74,8 @@ func main() {
 		blocks = append(blocks, v)
 	}
 
+	var perBlock []experiments.BlockStats
+
 	// Replay mode: drive the simulators from a stored trace (the
 	// paper's methodology: simulate traces captured once).
 	if *replay != "" {
@@ -54,19 +84,25 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		sims := make([]*cache.Sim, len(blocks))
-		sinks := make([]trace.Sink, len(blocks))
-		for i, blk := range blocks {
-			sims[i] = cache.New(cache.DefaultConfig(*nprocs, blk))
-			s := sims[i]
+		sims := newSims(*nprocs, blocks, *verbose)
+		sinks := make([]trace.Sink, len(sims))
+		for i, s := range sims {
+			s := s
 			sinks[i] = func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) }
 		}
-		if err := trace.NewReader(f).ForEach(trace.Tee(sinks...)); err != nil {
+		sp := obs.Begin("replay")
+		err = trace.NewReader(f).ForEach(trace.Tee(sinks...))
+		sp.End()
+		if err != nil {
 			fatal(err)
 		}
 		for i, s := range sims {
 			fmt.Printf("block %3d: %s", blocks[i], s.Stats().String())
+			perBlock = append(perBlock, experiments.NewBlockStats(s.Stats()))
 		}
+		writeReport(rec, *report, map[string]any{
+			"nprocs": *nprocs, "blocks": blocks, "replay": *replay,
+		}, perBlock, *verbose)
 		return
 	}
 
@@ -75,15 +111,15 @@ func main() {
 	case *bench != "":
 		b := workload.Get(*bench)
 		if b == nil {
-			fmt.Fprintf(os.Stderr, "fssim: unknown benchmark %q\n", *bench)
+			fmt.Fprintf(os.Stderr, "fssim: unknown benchmark %q (choose from: %s)\n",
+				*bench, strings.Join(workload.Names(), ", "))
 			os.Exit(1)
 		}
 		source = b.Source(*scale)
 	case flag.NArg() == 1:
 		data, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fssim: %v\n", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		source = string(data)
 	default:
@@ -100,46 +136,95 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runAndReport(prog, *nprocs, blocks, *saveTrace); err != nil {
-			fatal(err)
-		}
-		return
-	}
-	for i, blk := range blocks {
-		res, err := core.Restructure(source, core.Options{Nprocs: *nprocs, BlockSize: blk})
+		stats, err := runAndReport(prog, *nprocs, blocks, *saveTrace, *verbose)
 		if err != nil {
 			fatal(err)
 		}
-		traceFile := ""
-		if i == 0 {
-			traceFile = *saveTrace
+		perBlock = append(perBlock, stats...)
+	} else {
+		for _, blk := range blocks {
+			obs.Logf("restructuring for block %d", blk)
+			res, err := core.Restructure(source, core.Options{Nprocs: *nprocs, BlockSize: blk})
+			if err != nil {
+				fatal(err)
+			}
+			// The transformed program differs per block size, so each
+			// block's execution produces a distinct trace: write one
+			// trace file per block rather than silently keeping only
+			// the first.
+			traceFile := ""
+			if *saveTrace != "" {
+				traceFile = blockTraceName(*saveTrace, blk, len(blocks) > 1)
+				if len(blocks) > 1 {
+					fmt.Printf("note: transformed traces differ per block; block %d -> %s\n", blk, traceFile)
+				}
+			}
+			stats, err := runAndReport(res.Transformed, *nprocs, []int64{blk}, traceFile, *verbose)
+			if err != nil {
+				fatal(err)
+			}
+			perBlock = append(perBlock, stats...)
 		}
-		if err := runAndReport(res.Transformed, *nprocs, []int64{blk}, traceFile); err != nil {
+	}
+
+	writeReport(rec, *report, map[string]any{
+		"nprocs": *nprocs, "blocks": blocks, "bench": *bench, "scale": *scale,
+		"transformed": *transformed,
+	}, perBlock, *verbose)
+
+	if *memprof != "" {
+		if err := obs.WriteHeapProfile(*memprof); err != nil {
 			fatal(err)
 		}
 	}
 }
 
+// blockTraceName derives the per-block trace file name: "x.trc" with
+// block 128 becomes "x.b128.trc" (unless the trace is unique anyway).
+func blockTraceName(base string, block int64, multi bool) string {
+	if !multi {
+		return base
+	}
+	ext := filepath.Ext(base)
+	return fmt.Sprintf("%s.b%d%s", strings.TrimSuffix(base, ext), block, ext)
+}
+
+// newSims builds one simulator per block size, streaming progress in
+// verbose mode.
+func newSims(nprocs int, blocks []int64, verbose bool) []*cache.Sim {
+	sims := make([]*cache.Sim, len(blocks))
+	for i, blk := range blocks {
+		sims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
+		if verbose && i == 0 {
+			blk := blk
+			sims[i].SetSampler(sampleEvery, func(st *cache.Stats) {
+				fmt.Fprintf(os.Stderr, "fssim: block %d: %d refs, missrate=%.4f%% (fs=%.4f%%)\n",
+					blk, st.Refs, 100*st.MissRate(), 100*st.FSRate())
+			})
+		}
+	}
+	return sims
+}
+
 // runAndReport executes a program once, feeding one cache simulator
 // per block size (and optionally a trace file), then prints the
 // per-block statistics.
-func runAndReport(prog *core.Program, nprocs int, blocks []int64, traceFile string) error {
+func runAndReport(prog *core.Program, nprocs int, blocks []int64, traceFile string, verbose bool) ([]experiments.BlockStats, error) {
 	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	sims := make([]*cache.Sim, len(blocks))
+	sims := newSims(nprocs, blocks, verbose)
 	sinks := make([]trace.Sink, 0, len(blocks)+1)
-	for i, blk := range blocks {
-		sims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
-		s := sims[i]
+	for _, s := range sims {
+		s := s
 		sinks = append(sinks, func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) })
 	}
 	var tw *trace.Writer
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		tw = trace.NewWriter(f)
@@ -147,19 +232,38 @@ func runAndReport(prog *core.Program, nprocs int, blocks []int64, traceFile stri
 	}
 	m := vm.New(bc)
 	if err := m.Run(trace.Tee(sinks...)); err != nil {
-		return err
+		return nil, err
 	}
 	if tw != nil {
 		n, err := tw.Flush()
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Printf("trace: %d references -> %s\n", n, traceFile)
 	}
+	out := make([]experiments.BlockStats, 0, len(sims))
 	for i, s := range sims {
 		fmt.Printf("block %3d: %s", blocks[i], s.Stats().String())
+		out = append(out, experiments.NewBlockStats(s.Stats()))
 	}
-	return nil
+	return out, nil
+}
+
+// writeReport assembles and writes the run manifest when -report is
+// set.
+func writeReport(rec *obs.Recorder, path string, config map[string]any, perBlock []experiments.BlockStats, verbose bool) {
+	if path == "" {
+		return
+	}
+	rep := rec.Report("fssim")
+	rep.Config = config
+	rep.AddData("blocks", perBlock)
+	if err := rep.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "fssim: report -> %s\n", path)
+	}
 }
 
 func fatal(err error) {

@@ -15,6 +15,30 @@ type Weighted struct {
 	Lossy bool
 }
 
+// Counters tallies descriptor-list maintenance for observability:
+// how much the per-object cap (the paper's "small preset limit")
+// actually bites on a given program.
+type Counters struct {
+	// Added counts descriptors inserted as new list entries.
+	Added int64
+	// Deduped counts insertions folded into an identical descriptor
+	// (weight merge, no information loss).
+	Deduped int64
+	// Merged counts lossy cheapest-pair merges.
+	Merged int64
+	// Capped counts insertions that pushed a list over its limit and
+	// forced merging.
+	Capped int64
+}
+
+// Add adds other into c.
+func (c *Counters) Add(other Counters) {
+	c.Added += other.Added
+	c.Deduped += other.Deduped
+	c.Merged += other.Merged
+	c.Capped += other.Capped
+}
+
 // Add inserts a descriptor into the list, deduplicating identical
 // descriptors (no information loss) and enforcing the descriptor
 // limit. When the limit is exceeded, the two cheapest descriptors are
@@ -23,6 +47,12 @@ type Weighted struct {
 // be lost, or when the number of descriptors exceeds some small preset
 // limit".
 func Add(list []Weighted, r RSD, w float64, limit int) []Weighted {
+	return AddCounted(list, r, w, limit, nil)
+}
+
+// AddCounted is Add with maintenance counters recorded into c (which
+// may be nil).
+func AddCounted(list []Weighted, r RSD, w float64, limit int, c *Counters) []Weighted {
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
@@ -30,12 +60,24 @@ func Add(list []Weighted, r RSD, w float64, limit int) []Weighted {
 	for i := range list {
 		if !list[i].Lossy && list[i].R.String() == key {
 			list[i].Weight += w
+			if c != nil {
+				c.Deduped++
+			}
 			return list
 		}
 	}
 	list = append(list, Weighted{R: r, Weight: w})
+	if c != nil {
+		c.Added++
+		if len(list) > limit {
+			c.Capped++
+		}
+	}
 	for len(list) > limit {
 		list = mergeCheapest(list)
+		if c != nil {
+			c.Merged++
+		}
 	}
 	return list
 }

@@ -98,6 +98,9 @@ type Summary struct {
 	// FuncFreq is the interprocedural execution-frequency estimate per
 	// function (main = 1).
 	FuncFreq map[string]float64
+	// RSD tallies descriptor-list maintenance across the analysis
+	// (how often the paper's per-object cap forced lossy merging).
+	RSD rsd.Counters
 }
 
 // Object returns the summary of one object key, or nil.
@@ -613,12 +616,12 @@ func (a *analyzer) emit(obj Object, r rsd.RSD, write bool, prov Prov, pos token.
 	if write {
 		os.WriteW += acc.Weight
 		os.WriteProcs = os.WriteProcs.Union(acc.Procs)
-		os.Writes = rsd.Add(os.Writes, r, acc.Weight, a.cfg.RSDLimit)
+		os.Writes = rsd.AddCounted(os.Writes, r, acc.Weight, a.cfg.RSDLimit, &a.sum.RSD)
 		os.WriteProv = os.WriteProv.join(prov)
 	} else {
 		os.ReadW += acc.Weight
 		os.ReadProcs = os.ReadProcs.Union(acc.Procs)
-		os.Reads = rsd.Add(os.Reads, r, acc.Weight, a.cfg.RSDLimit)
+		os.Reads = rsd.AddCounted(os.Reads, r, acc.Weight, a.cfg.RSDLimit, &a.sum.RSD)
 		os.ReadProv = os.ReadProv.join(prov)
 	}
 	for _, p := range acc.Phases.Phases() {

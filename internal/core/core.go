@@ -23,6 +23,7 @@ import (
 	"falseshare/internal/lang/parser"
 	"falseshare/internal/lang/types"
 	"falseshare/internal/layout"
+	"falseshare/internal/obs"
 	"falseshare/internal/transform"
 )
 
@@ -108,15 +109,24 @@ type Result struct {
 // may be nil.
 func Compile(src string, opt Options) (*Program, error) {
 	opt = opt.defaults()
+	sp := obs.Begin("compile")
+	defer sp.End()
+
+	st := obs.Begin("parse")
 	file, err := parser.Parse(src)
+	st.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	st = obs.Begin("typecheck")
 	info, err := types.Check(file)
+	st.End()
 	if err != nil {
 		return nil, fmt.Errorf("check: %w", err)
 	}
+	st = obs.Begin("layout")
 	lay, err := layout.Compute(info, layout.NewDirectives(opt.BlockSize), int64(opt.Nprocs))
+	st.End()
 	if err != nil {
 		return nil, fmt.Errorf("layout: %w", err)
 	}
@@ -127,6 +137,8 @@ func Compile(src string, opt Options) (*Program, error) {
 // applies transformations, and returns both program versions.
 func Restructure(src string, opt Options) (*Result, error) {
 	opt = opt.defaults()
+	sp := obs.Begin("restructure")
+	defer sp.End()
 
 	orig, err := Compile(src, opt)
 	if err != nil {
@@ -134,36 +146,78 @@ func Restructure(src string, opt Options) (*Result, error) {
 	}
 
 	// A second, independent tree for mutation.
+	st := obs.Begin("parse")
 	file, err := parser.Parse(src)
+	st.End()
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	st = obs.Begin("typecheck")
 	info, err := types.Check(file)
+	st.End()
 	if err != nil {
 		return nil, fmt.Errorf("check: %w", err)
 	}
 
+	st = obs.Begin("cfg")
 	prog := cfg.BuildProgram(file)
+	st.End()
+
+	st = obs.Begin("pdv")
 	pdvs := pdv.Analyze(info, int64(opt.Nprocs))
+	st.Set("pdvs", countPDVs(pdvs))
+	st.End()
+
+	st = obs.Begin("procs")
 	procRes := procs.Analyze(prog, info, pdvs, opt.Nprocs)
+	st.End()
+
+	st = obs.Begin("nonconc")
 	phases, err := nonconc.Analyze(prog)
 	if err != nil {
+		st.End()
 		return nil, err
 	}
-	summary := sideeffect.Analyze(info, prog, pdvs, procRes, phases, opt.analysisConfig())
+	st.Set("phases", int64(phases.N))
+	st.End()
 
+	st = obs.Begin("sideeffect")
+	summary := sideeffect.Analyze(info, prog, pdvs, procRes, phases, opt.analysisConfig())
+	st.Set("objects", int64(len(summary.Objects)))
+	st.Set("rsd_added", summary.RSD.Added)
+	st.Set("rsd_deduped", summary.RSD.Deduped)
+	st.Set("rsd_merged", summary.RSD.Merged)
+	st.Set("rsd_capped", summary.RSD.Capped)
+	st.End()
+
+	st = obs.Begin("decide")
 	plan := transform.Decide(summary, info, opt.Heuristics)
+	st.Set("decisions", int64(len(plan.Decisions)))
+	st.Set("skipped", int64(len(plan.Skipped)))
+	for _, d := range plan.Decisions {
+		st.Count("kind:"+d.Kind.String(), 1)
+	}
+	st.End()
+
+	st = obs.Begin("apply")
 	dirs, applied, err := transform.Apply(file, info, plan, opt.BlockSize, int64(opt.Nprocs))
 	if err != nil {
+		st.End()
 		return nil, fmt.Errorf("apply: %w", err)
 	}
+	st.Set("applied", int64(len(applied)))
+	st.End()
 
 	// Re-check the mutated tree and lay it out with the directives.
+	st = obs.Begin("recheck")
 	newInfo, err := types.Check(file)
+	st.End()
 	if err != nil {
 		return nil, fmt.Errorf("transformed program fails to check (transformation bug): %w\n%s", err, ast.Print(file))
 	}
+	st = obs.Begin("layout")
 	lay, err := layout.Compute(newInfo, dirs, int64(opt.Nprocs))
+	st.End()
 	if err != nil {
 		return nil, fmt.Errorf("layout of transformed program: %w", err)
 	}
@@ -179,4 +233,16 @@ func Restructure(src string, opt Options) (*Result, error) {
 		Phases:      phases,
 		Procs:       procRes,
 	}, nil
+}
+
+// countPDVs counts the symbols whose value actually differentiates
+// processes (nonzero pid coefficient).
+func countPDVs(r *pdv.Result) int64 {
+	var n int64
+	for s := range r.Values {
+		if r.IsPDV(s) {
+			n++
+		}
+	}
+	return n
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"falseshare/internal/core"
+	"falseshare/internal/obs"
 	"falseshare/internal/sim/cache"
 	"falseshare/internal/transform"
 	"falseshare/internal/vm"
@@ -113,6 +114,9 @@ func Versions(b *workload.Benchmark) []Version {
 // simulator per block size (the trace is identical across block
 // sizes, so a single execution feeds them all).
 func MeasureBlocks(prog *core.Program, blocks []int64) ([]*cache.Stats, error) {
+	sp := obs.Begin("measure")
+	defer sp.End()
+	sp.Set("blocks", int64(len(blocks)))
 	nprocs := int(prog.Layout.Nprocs)
 	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
 	if err != nil {

@@ -1,0 +1,256 @@
+// Package obs is the pipeline observability layer: hierarchical timed
+// spans with typed counters, a process-wide recorder, and JSON/CSV run
+// reports. The compiler pipeline, the VM, and the simulators record
+// into the installed recorder; the CLIs export the result as a run
+// manifest (-report) and stream progress to stderr (-v).
+//
+// Instrumentation is zero-cost when no recorder is installed: Begin
+// performs one atomic load and returns a nil *Span, whose methods are
+// all nil-safe no-ops.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed region of work. Spans nest: Begin while another
+// span is open attaches the new span as its child.
+type Span struct {
+	Name     string
+	Started  time.Time
+	Wall     time.Duration
+	Counters map[string]int64
+	Children []*Span
+
+	rec   *Recorder
+	depth int
+	open  bool
+}
+
+// Recorder accumulates a tree of spans for one run. All methods are
+// safe for concurrent use; spans from concurrent goroutines nest under
+// whichever span is innermost at the time, so a sequential pipeline
+// yields the natural stage tree.
+type Recorder struct {
+	// Verbose streams span completions (and Logf output) to LogW.
+	Verbose bool
+	// LogW is the progress stream (default os.Stderr).
+	LogW io.Writer
+
+	mu      sync.Mutex
+	root    *Span
+	stack   []*Span
+	started time.Time
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	now := time.Now()
+	root := &Span{Name: "run", Started: now, open: true}
+	r := &Recorder{root: root, stack: []*Span{root}, started: now}
+	root.rec = r
+	return r
+}
+
+// installed is the process-wide recorder (nil when observability is
+// off).
+var installed atomic.Pointer[Recorder]
+
+// Install makes r the process-wide recorder (nil uninstalls).
+func Install(r *Recorder) { installed.Store(r) }
+
+// Default returns the process-wide recorder, or nil.
+func Default() *Recorder { return installed.Load() }
+
+// Begin opens a span on the process-wide recorder; it returns nil
+// (a no-op span) when no recorder is installed.
+func Begin(name string) *Span {
+	if r := installed.Load(); r != nil {
+		return r.Begin(name)
+	}
+	return nil
+}
+
+// Logf writes a progress line to the process-wide recorder's log when
+// it is installed and verbose.
+func Logf(format string, args ...any) {
+	if r := installed.Load(); r != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Begin opens a span nested under the innermost open span.
+func (r *Recorder) Begin(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	parent := r.stack[len(r.stack)-1]
+	s := &Span{Name: name, Started: time.Now(), rec: r, depth: len(r.stack), open: true}
+	parent.Children = append(parent.Children, s)
+	r.stack = append(r.stack, s)
+	return s
+}
+
+// Logf writes one progress line to LogW when the recorder is verbose.
+func (r *Recorder) Logf(format string, args ...any) {
+	if r == nil || !r.Verbose {
+		return
+	}
+	fmt.Fprintf(r.logw(), "obs: "+format+"\n", args...)
+}
+
+func (r *Recorder) logw() io.Writer {
+	if r.LogW != nil {
+		return r.LogW
+	}
+	return os.Stderr
+}
+
+// End closes the span, recording its wall time. Any child spans still
+// open are closed with it. nil-safe.
+func (s *Span) End() {
+	if s == nil || s.rec == nil {
+		return
+	}
+	r := s.rec
+	r.mu.Lock()
+	if !s.open {
+		r.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	// Pop the stack down to and including this span.
+	for i := len(r.stack) - 1; i >= 1; i-- {
+		top := r.stack[i]
+		top.open = false
+		if top.Wall == 0 {
+			top.Wall = now.Sub(top.Started)
+		}
+		r.stack = r.stack[:i]
+		if top == s {
+			break
+		}
+	}
+	verbose := r.Verbose
+	r.mu.Unlock()
+	if verbose {
+		fmt.Fprintf(r.logw(), "obs: %s%-18s %10s%s\n",
+			strings.Repeat("  ", s.depth-1), s.Name, s.Wall.Round(time.Microsecond), s.counterSuffix())
+	}
+}
+
+func (s *Span) counterSuffix() string {
+	if len(s.Counters) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %s=%d", k, s.Counters[k])
+	}
+	return sb.String()
+}
+
+// Count adds delta to a named counter. nil-safe.
+func (s *Span) Count(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	if r := s.rec; r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	s.Counters[name] += delta
+}
+
+// Set stores a counter value, replacing any previous one. nil-safe.
+func (s *Span) Set(name string, v int64) {
+	if s == nil {
+		return
+	}
+	if r := s.rec; r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	s.Counters[name] = v
+}
+
+// Counter returns the value of a named counter (0 when absent).
+// nil-safe; works on both live and snapshot spans.
+func (s *Span) Counter(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	if r := s.rec; r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	return s.Counters[name]
+}
+
+// Find returns the first descendant span (depth-first) with the given
+// name, or nil. nil-safe; intended for tests and report assembly.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Spans returns a snapshot of the recorder's top-level spans. Spans
+// still open are given their wall time as of the snapshot.
+func (r *Recorder) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	return snapshotSpans(r.root.Children, now)
+}
+
+func snapshotSpans(in []*Span, now time.Time) []*Span {
+	out := make([]*Span, len(in))
+	for i, s := range in {
+		c := &Span{Name: s.Name, Started: s.Started, Wall: s.Wall}
+		if s.open && c.Wall == 0 {
+			c.Wall = now.Sub(s.Started)
+		}
+		if len(s.Counters) > 0 {
+			c.Counters = make(map[string]int64, len(s.Counters))
+			for k, v := range s.Counters {
+				c.Counters[k] = v
+			}
+		}
+		c.Children = snapshotSpans(s.Children, now)
+		out[i] = c
+	}
+	return out
+}

@@ -98,11 +98,45 @@ type Stats struct {
 	// Invalidations counts line invalidations caused in other caches.
 	Invalidations int64
 
-	// Per-processor counters for the execution-time model.
-	ProcRefs   []int64
-	ProcMisses []int64
-	ProcFS     []int64
-	ProcRemote []int64 // misses serviced by another processor's cache
+	// Per-processor counters for the execution-time model and the
+	// per-miss-class decomposition (§5's per-processor attribution).
+	ProcRefs    []int64
+	ProcMisses  []int64
+	ProcCold    []int64
+	ProcReplace []int64
+	ProcTS      []int64 // true-sharing misses
+	ProcFS      []int64 // false-sharing misses
+	ProcRemote  []int64 // misses serviced by another processor's cache
+}
+
+// ProcStats is one processor's view of the simulation, for reports.
+type ProcStats struct {
+	Proc       int   `json:"proc"`
+	Refs       int64 `json:"refs"`
+	Misses     int64 `json:"misses"`
+	Cold       int64 `json:"cold"`
+	Replace    int64 `json:"replace"`
+	TrueShare  int64 `json:"true_share"`
+	FalseShare int64 `json:"false_share"`
+	Remote     int64 `json:"remote"`
+}
+
+// PerProc decomposes the stats by processor.
+func (s *Stats) PerProc() []ProcStats {
+	out := make([]ProcStats, len(s.ProcRefs))
+	for p := range out {
+		out[p] = ProcStats{
+			Proc:       p,
+			Refs:       s.ProcRefs[p],
+			Misses:     s.ProcMisses[p],
+			Cold:       s.ProcCold[p],
+			Replace:    s.ProcReplace[p],
+			TrueShare:  s.ProcTS[p],
+			FalseShare: s.ProcFS[p],
+			Remote:     s.ProcRemote[p],
+		}
+	}
+	return out
 }
 
 // Misses returns the total miss count.
@@ -180,6 +214,12 @@ type Sim struct {
 
 	time  int64
 	stats Stats
+
+	// Sampling hook (SetSampler): sampler is invoked every
+	// sampleEvery block references so long simulations can stream
+	// progress.
+	sampleEvery int64
+	sampler     func(*Stats)
 }
 
 // New builds a simulator.
@@ -214,6 +254,9 @@ func New(cfg Config) *Sim {
 	s.stats.Config = cfg
 	s.stats.ProcRefs = make([]int64, cfg.NumProcs)
 	s.stats.ProcMisses = make([]int64, cfg.NumProcs)
+	s.stats.ProcCold = make([]int64, cfg.NumProcs)
+	s.stats.ProcReplace = make([]int64, cfg.NumProcs)
+	s.stats.ProcTS = make([]int64, cfg.NumProcs)
 	s.stats.ProcFS = make([]int64, cfg.NumProcs)
 	s.stats.ProcRemote = make([]int64, cfg.NumProcs)
 	return s
@@ -221,6 +264,15 @@ func New(cfg Config) *Sim {
 
 // Stats returns the accumulated statistics.
 func (s *Sim) Stats() *Stats { return &s.stats }
+
+// SetSampler installs fn, invoked synchronously with the running
+// stats after every n block references (n <= 0 disables sampling).
+// The callback must not retain the *Stats across calls: it points at
+// the simulator's live accumulator.
+func (s *Sim) SetSampler(n int64, fn func(*Stats)) {
+	s.sampleEvery = n
+	s.sampler = fn
+}
 
 // Access simulates one memory reference, splitting it at block
 // boundaries if necessary (an 8-byte access with 4-byte blocks spans
@@ -245,6 +297,9 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 		s.stats.Writes++
 	} else {
 		s.stats.Reads++
+	}
+	if s.sampleEvery > 0 && s.stats.Refs%s.sampleEvery == 0 {
+		s.sampler(&s.stats)
 	}
 
 	block := addr >> s.blkShift
@@ -278,6 +333,7 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 			}
 			s.stats.TrueShare++
 			s.stats.ProcMisses[proc]++
+			s.stats.ProcTS[proc]++
 			if s.heldElsewhere(proc, block) {
 				s.stats.ProcRemote[proc]++
 			}
@@ -306,10 +362,12 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	case !bm.seen:
 		kind = Cold
 		s.stats.Cold++
+		s.stats.ProcCold[proc]++
 	case bm.lostByInv:
 		if s.modifiedByOtherSince(proc, addr, size, bm.lostAt) {
 			kind = TrueSharing
 			s.stats.TrueShare++
+			s.stats.ProcTS[proc]++
 		} else {
 			kind = FalseSharing
 			s.stats.FalseShare++
@@ -318,6 +376,7 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	default:
 		kind = Replacement
 		s.stats.Replace++
+		s.stats.ProcReplace[proc]++
 	}
 	s.stats.ProcMisses[proc]++
 	if s.heldElsewhere(proc, block) {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"falseshare/internal/obs"
 )
 
 // Ref is one shared-memory reference in the trace.
@@ -130,6 +132,33 @@ func (m *Machine) Mem() []byte { return m.mem }
 // Barriers returns the number of barrier episodes executed.
 func (m *Machine) Barriers() int64 { return m.barrierCount }
 
+// TotalInstrs sums executed instructions across processes.
+func (m *Machine) TotalInstrs() int64 {
+	var n int64
+	for _, p := range m.procs {
+		n += p.Instrs
+	}
+	return n
+}
+
+// TotalRefs sums emitted shared references across processes.
+func (m *Machine) TotalRefs() int64 {
+	var n int64
+	for _, p := range m.procs {
+		n += p.Refs
+	}
+	return n
+}
+
+// TotalSpins sums failed lock acquisitions across processes.
+func (m *Machine) TotalSpins() int64 {
+	var n int64
+	for _, p := range m.procs {
+		n += p.Spins
+	}
+	return n
+}
+
 // ReadInt reads a 4-byte integer from shared memory (for tests).
 func (m *Machine) ReadInt(addr int64) int64 {
 	return int64(int32(binary.LittleEndian.Uint32(m.mem[addr:])))
@@ -146,6 +175,20 @@ func (m *Machine) ReadDouble(addr int64) float64 {
 // reference, reaches a barrier, finishes, or exhausts its slice of
 // private computation.
 func (m *Machine) Run(sink func(Ref)) error {
+	sp := obs.Begin("vm.run")
+	err := m.run(sink)
+	if sp != nil {
+		sp.Set("procs", int64(m.nprocs))
+		sp.Set("instrs", m.TotalInstrs())
+		sp.Set("refs", m.TotalRefs())
+		sp.Set("spins", m.TotalSpins())
+		sp.Set("barriers", m.barrierCount)
+	}
+	sp.End()
+	return err
+}
+
+func (m *Machine) run(sink func(Ref)) error {
 	const slice = 20000 // private instructions per turn
 	for {
 		anyRunning := false

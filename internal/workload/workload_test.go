@@ -115,3 +115,34 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatalf("Names() has %d entries, All() has %d", len(names), len(All()))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if Get(n) == nil {
+			t.Fatalf("Names() lists unknown benchmark %q", n)
+		}
+	}
+	for _, want := range []string{"maxflow", "pverify", "water"} {
+		if !containsString(names, want) {
+			t.Fatalf("Names() missing %q: %v", want, names)
+		}
+	}
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
