@@ -1,0 +1,89 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"falseshare/internal/experiments"
+)
+
+// update rewrites the golden files instead of comparing:
+//
+//	go test ./cmd/fsexp -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// TestGoldenFig3Output pins the exact text `fsexp -fig3` prints on a
+// tiny configuration, so CLI formatting regressions (column widths,
+// headers, bar glyphs, float precision) are caught by diff. The
+// simulation itself is deterministic, so the file is stable across
+// runs, worker counts, and platforms.
+func TestGoldenFig3Output(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Workers = 4 // golden output must not depend on parallelism
+	cfg.Fig3Blocks = []int64{16, 128}
+	cells, err := experiments.Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly what main() prints for -fig3 (fmt.Println adds the
+	// trailing newline).
+	got := experiments.RenderFigure3(cells) + "\n"
+
+	golden := filepath.Join("testdata", "fig3.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/fsexp -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("fsexp -fig3 output drifted from %s (refresh with -update if intended):\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a minimal line diff for the failure message.
+func diffLines(want, got string) string {
+	w, g := splitLines(want), splitLines(got)
+	out := ""
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var wl, gl string
+		if i < len(w) {
+			wl = w[i]
+		}
+		if i < len(g) {
+			gl = g[i]
+		}
+		if wl != gl {
+			out += fmt.Sprintf("line %d:\n  want: %q\n  got:  %q\n", i+1, wl, gl)
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != '\n' {
+			i++
+		}
+		out = append(out, s[:i])
+		if i < len(s) {
+			i++
+		}
+		s = s[i:]
+	}
+	return out
+}

@@ -5,15 +5,23 @@
 //
 //	fsexp -fig3 -table2 -fig4 -table3 -aggregates    # pick any subset
 //	fsexp -all                                        # everything
+//	fsexp -all -j 8                                   # 8 parallel jobs
 //	fsexp -all -quick                                 # reduced sweeps
+//	fsexp -all -scale-min -j 4                        # smoke-test config
 //	fsexp -all -reportdir runs/                       # one JSON manifest
 //	                                                  # per figure/table
+//
+// Every figure and table is regenerated from independent
+// compile→run→simulate jobs fanned out over -j workers (default:
+// GOMAXPROCS). Results are identical at any -j; -j 1 preserves the
+// serial execution order exactly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"falseshare/internal/experiments"
@@ -34,6 +42,9 @@ func main() {
 		quick  = flag.Bool("quick", false, "smaller processor sweeps (faster)")
 		csv    = flag.Bool("csv", false, "emit CSV instead of formatted tables (fig3/fig4/table2)")
 		scale  = flag.Int("scale", 1, "workload scale")
+		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = serial)")
+
+		scaleMin = flag.Bool("scale-min", false, "minimal sweeps and block sets (CI smoke runs)")
 
 		reportDir = flag.String("reportdir", "", "write one JSON run manifest per figure/table into this directory")
 		verbose   = flag.Bool("v", false, "log experiment progress to stderr")
@@ -64,9 +75,15 @@ func main() {
 
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
+	cfg.Workers = *jobs
 	if *quick {
 		cfg.SweepCounts = []int{1, 2, 4, 8, 12, 16, 20, 28}
 		cfg.Table2Blocks = []int64{16, 64, 128, 256}
+	}
+	if *scaleMin {
+		cfg.SweepCounts = []int{1, 2, 4}
+		cfg.Table2Blocks = []int64{32, 128}
+		cfg.Fig3Blocks = []int64{16, 128}
 	}
 	machine := ksr.DefaultConfig()
 
@@ -136,7 +153,7 @@ func main() {
 		fmt.Println(experiments.RenderTable3(rows))
 	}
 	if *ccost {
-		rows := run("compilecost", func() (any, error) { return experiments.CompileCost(*scale, 12, 5) }).([]experiments.CompileCostRow)
+		rows := run("compilecost", func() (any, error) { return experiments.CompileCost(*scale, 12, 5, *jobs) }).([]experiments.CompileCostRow)
 		fmt.Println(experiments.RenderCompileCost(rows))
 	}
 

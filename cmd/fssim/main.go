@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -35,6 +36,7 @@ const sampleEvery = 2_000_000
 func main() {
 	var (
 		nprocs      = flag.Int("p", 12, "number of processes")
+		jobs        = flag.Int("j", runtime.GOMAXPROCS(0), "parallelism: >1 runs one goroutine per block-size simulator (1 = serial)")
 		blockList   = flag.String("blocks", "16,64,128", "comma-separated block sizes to simulate")
 		bench       = flag.String("bench", "", "run a bundled benchmark instead of a file")
 		scale       = flag.Int("scale", 1, "workload scale for -bench")
@@ -91,7 +93,28 @@ func main() {
 			sinks[i] = func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) }
 		}
 		sp := obs.Begin("replay")
-		err = trace.NewReader(f).ForEach(trace.Tee(sinks...))
+		sink, finish := fanout(*jobs, sp, blocks, sinks...)
+		// The trace format carries no process count, so a stored ref can
+		// name a proc the -p sized simulators have no counters for.
+		// Reject it before it reaches a sink rather than panicking there.
+		var badRef error
+		nrec := 0
+		err = trace.NewReader(f).ForEach(func(r vm.Ref) {
+			nrec++
+			if badRef == nil && r.Proc >= *nprocs {
+				badRef = fmt.Errorf("trace %s: record %d uses proc %d; rerun with -p %d or more",
+					*replay, nrec, r.Proc, r.Proc+1)
+			}
+			if badRef == nil {
+				sink(r)
+			}
+		})
+		if err == nil {
+			err = badRef
+		}
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
 		sp.End()
 		if err != nil {
 			fatal(err)
@@ -101,7 +124,7 @@ func main() {
 			perBlock = append(perBlock, experiments.NewBlockStats(s.Stats()))
 		}
 		writeReport(rec, *report, map[string]any{
-			"nprocs": *nprocs, "blocks": blocks, "replay": *replay,
+			"nprocs": *nprocs, "blocks": blocks, "replay": *replay, "jobs": *jobs,
 		}, perBlock, *verbose)
 		return
 	}
@@ -136,7 +159,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		stats, err := runAndReport(prog, *nprocs, blocks, *saveTrace, *verbose)
+		stats, err := runAndReport(prog, *nprocs, *jobs, blocks, *saveTrace, *verbose)
 		if err != nil {
 			fatal(err)
 		}
@@ -159,7 +182,7 @@ func main() {
 					fmt.Printf("note: transformed traces differ per block; block %d -> %s\n", blk, traceFile)
 				}
 			}
-			stats, err := runAndReport(res.Transformed, *nprocs, []int64{blk}, traceFile, *verbose)
+			stats, err := runAndReport(res.Transformed, *nprocs, *jobs, []int64{blk}, traceFile, *verbose)
 			if err != nil {
 				fatal(err)
 			}
@@ -169,7 +192,7 @@ func main() {
 
 	writeReport(rec, *report, map[string]any{
 		"nprocs": *nprocs, "blocks": blocks, "bench": *bench, "scale": *scale,
-		"transformed": *transformed,
+		"transformed": *transformed, "jobs": *jobs,
 	}, perBlock, *verbose)
 
 	if *memprof != "" {
@@ -206,10 +229,29 @@ func newSims(nprocs int, blocks []int64, verbose bool) []*cache.Sim {
 	return sims
 }
 
+// fanout assembles the reference-delivery path for the given sinks: a
+// plain Tee at -j 1 (or when there is only one sink), otherwise a
+// batched ParTee running each sink on its own goroutine. Every sink
+// sees the identical full stream in order either way; the returned
+// finish func must be called after the stream ends.
+func fanout(j int, parent *obs.Span, blocks []int64, sinks ...trace.Sink) (trace.Sink, func() error) {
+	if j == 1 || len(sinks) < 2 {
+		return trace.Tee(sinks...), func() error { return nil }
+	}
+	pt := trace.NewParTee(0, sinks...)
+	for i := range sinks {
+		if i < len(blocks) {
+			pt.SetSpan(i, parent.Child(fmt.Sprintf("sim:b%d", blocks[i])))
+		}
+	}
+	return pt.Sink(), pt.Close
+}
+
 // runAndReport executes a program once, feeding one cache simulator
 // per block size (and optionally a trace file), then prints the
-// per-block statistics.
-func runAndReport(prog *core.Program, nprocs int, blocks []int64, traceFile string, verbose bool) ([]experiments.BlockStats, error) {
+// per-block statistics. With -j > 1 the simulators (and the trace
+// writer) each consume the stream on their own goroutine.
+func runAndReport(prog *core.Program, nprocs, j int, blocks []int64, traceFile string, verbose bool) ([]experiments.BlockStats, error) {
 	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
 	if err != nil {
 		return nil, err
@@ -230,9 +272,16 @@ func runAndReport(prog *core.Program, nprocs int, blocks []int64, traceFile stri
 		tw = trace.NewWriter(f)
 		sinks = append(sinks, tw.Sink())
 	}
+	sp := obs.Begin("measure")
+	sink, finish := fanout(j, sp, blocks, sinks...)
 	m := vm.New(bc)
-	if err := m.Run(trace.Tee(sinks...)); err != nil {
-		return nil, err
+	runErr := m.Run(sink)
+	if err := finish(); runErr == nil {
+		runErr = err
+	}
+	sp.End()
+	if runErr != nil {
+		return nil, runErr
 	}
 	if tw != nil {
 		n, err := tw.Flush()

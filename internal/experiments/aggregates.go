@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"falseshare/internal/experiments/pool"
 	"falseshare/internal/transform"
 	"falseshare/internal/workload"
 )
@@ -28,32 +29,55 @@ type Aggregates struct {
 	TotalMissReduction float64
 }
 
+// aggCell is one program version's miss split for the aggregates.
+type aggCell struct {
+	ver   Version
+	fs    int64
+	other int64
+}
+
 // ComputeAggregates derives the headline numbers from fresh runs at
-// the given block size.
+// the given block size. Each (program × version) run is one job,
+// fanned out across cfg.Workers; the sums are accumulated after the
+// fan-out.
 func ComputeAggregates(cfg Config, block int64) (*Aggregates, error) {
-	var fsN, otherN, fsC, otherC int64
+	var jobs []pool.Job[aggCell]
 	for _, b := range workload.Unoptimizable() {
 		procs := cfg.Fig3Procs
 		if b.Name == "topopt" && cfg.Fig3ProcsTopopt > 0 {
 			procs = cfg.Fig3ProcsTopopt
 		}
 		for _, ver := range []Version{VersionN, VersionC} {
-			prog, err := Program(b, ver, procs, cfg.Scale, block, transform.Config{})
-			if err != nil {
-				return nil, err
-			}
-			stats, err := MeasureBlocks(prog, []int64{block})
-			if err != nil {
-				return nil, err
-			}
-			st := stats[0]
-			if ver == VersionN {
-				fsN += st.FalseShare
-				otherN += st.Misses() - st.FalseShare
-			} else {
-				fsC += st.FalseShare
-				otherC += st.Misses() - st.FalseShare
-			}
+			jobs = append(jobs, pool.Job[aggCell]{
+				Key: fmt.Sprintf("aggregates/%s/%s", b.Name, ver),
+				Run: func() (aggCell, error) {
+					prog, err := Program(b, ver, procs, cfg.Scale, block, transform.Config{})
+					if err != nil {
+						return aggCell{}, err
+					}
+					stats, err := MeasureBlocks(prog, []int64{block})
+					if err != nil {
+						return aggCell{}, err
+					}
+					st := stats[0]
+					return aggCell{ver: ver, fs: st.FalseShare, other: st.Misses() - st.FalseShare}, nil
+				},
+			})
+		}
+	}
+	cells, err := pool.Run("aggregates", cfg.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	var fsN, otherN, fsC, otherC int64
+	for _, c := range cells {
+		if c.ver == VersionN {
+			fsN += c.fs
+			otherN += c.other
+		} else {
+			fsC += c.fs
+			otherC += c.other
 		}
 	}
 	a := &Aggregates{Block: block}

@@ -7,6 +7,7 @@ import (
 
 	"falseshare/internal/cfg"
 	"falseshare/internal/core"
+	"falseshare/internal/experiments/pool"
 	"falseshare/internal/lang/parser"
 	"falseshare/internal/lang/types"
 	"falseshare/internal/workload"
@@ -37,45 +38,53 @@ func (r CompileCostRow) Overhead() float64 {
 
 // CompileCost measures front-end vs full-restructurer time over the
 // suite, repeating each measurement and keeping the minimum (the
-// usual noise-robust choice for microtimings).
-func CompileCost(scale, nprocs, reps int) ([]CompileCostRow, error) {
+// usual noise-robust choice for microtimings). One job per benchmark,
+// fanned out across workers (<= 0: GOMAXPROCS); the minimum-of-reps
+// absorbs most of the scheduling noise concurrent timing adds, but
+// the steadiest numbers come from workers == 1.
+func CompileCost(scale, nprocs, reps, workers int) ([]CompileCostRow, error) {
 	if reps < 1 {
 		reps = 3
 	}
-	var rows []CompileCostRow
+	var jobs []pool.Job[CompileCostRow]
 	for _, b := range workload.All() {
-		src := b.Source(scale)
-		row := CompileCostRow{Program: b.Name}
+		jobs = append(jobs, pool.Job[CompileCostRow]{
+			Key: "compilecost/" + b.Name,
+			Run: func() (CompileCostRow, error) {
+				src := b.Source(scale)
+				row := CompileCostRow{Program: b.Name}
 
-		base, err := minTime(reps, func() error {
-			f, err := parser.Parse(src)
-			if err != nil {
-				return err
-			}
-			info, err := types.Check(f)
-			if err != nil {
-				return err
-			}
-			cfg.BuildProgram(f)
-			_ = info
-			return nil
-		})
-		if err != nil {
-			return nil, fmt.Errorf("compilecost %s baseline: %w", b.Name, err)
-		}
-		row.Baseline = base
+				base, err := minTime(reps, func() error {
+					f, err := parser.Parse(src)
+					if err != nil {
+						return err
+					}
+					info, err := types.Check(f)
+					if err != nil {
+						return err
+					}
+					cfg.BuildProgram(f)
+					_ = info
+					return nil
+				})
+				if err != nil {
+					return row, fmt.Errorf("compilecost %s baseline: %w", b.Name, err)
+				}
+				row.Baseline = base
 
-		full, err := minTime(reps, func() error {
-			_, err := core.Restructure(src, core.Options{Nprocs: nprocs, BlockSize: 128})
-			return err
+				full, err := minTime(reps, func() error {
+					_, err := core.Restructure(src, core.Options{Nprocs: nprocs, BlockSize: 128})
+					return err
+				})
+				if err != nil {
+					return row, fmt.Errorf("compilecost %s full: %w", b.Name, err)
+				}
+				row.Full = full
+				return row, nil
+			},
 		})
-		if err != nil {
-			return nil, fmt.Errorf("compilecost %s full: %w", b.Name, err)
-		}
-		row.Full = full
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return pool.Run("compilecost", workers, jobs)
 }
 
 func minTime(reps int, f func() error) (time.Duration, error) {

@@ -6,7 +6,7 @@ import (
 )
 
 func TestCompileCost(t *testing.T) {
-	rows, err := CompileCost(1, 12, 1)
+	rows, err := CompileCost(1, 12, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

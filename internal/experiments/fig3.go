@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"falseshare/internal/experiments/pool"
 	"falseshare/internal/transform"
 	"falseshare/internal/workload"
 )
@@ -31,8 +32,12 @@ func (c Fig3Cell) TotalRate() float64 { return c.FSRate + c.OtherRate }
 // unoptimized and compiler-transformed versions of the six
 // unoptimizable programs at 16- and 128-byte blocks, 12 processors
 // (Topopt: 9), with the false-sharing portion split out.
+//
+// The (program × version × block) cells are independent
+// compile→run→simulate jobs; they are enumerated up front and fanned
+// out across cfg.Workers, with the cell order fixed by enumeration.
 func Figure3(cfg Config) ([]Fig3Cell, error) {
-	var out []Fig3Cell
+	var jobs []pool.Job[Fig3Cell]
 	for _, b := range workload.Unoptimizable() {
 		procs := cfg.Fig3Procs
 		if b.Name == "topopt" && cfg.Fig3ProcsTopopt > 0 {
@@ -42,30 +47,35 @@ func Figure3(cfg Config) ([]Fig3Cell, error) {
 			// Block size affects the C version's padding, so compile
 			// per block size.
 			for _, blk := range cfg.Fig3Blocks {
-				prog, err := Program(b, ver, procs, cfg.Scale, blk, transform.Config{})
-				if err != nil {
-					return nil, fmt.Errorf("fig3 %s/%s: %w", b.Name, ver, err)
-				}
-				stats, err := MeasureBlocks(prog, []int64{blk})
-				if err != nil {
-					return nil, fmt.Errorf("fig3 %s/%s run: %w", b.Name, ver, err)
-				}
-				st := stats[0]
-				out = append(out, Fig3Cell{
-					Program:     b.Name,
-					Version:     ver,
-					Block:       blk,
-					Procs:       procs,
-					Refs:        st.Refs,
-					FSMisses:    st.FalseShare,
-					OtherMisses: st.Misses() - st.FalseShare,
-					FSRate:      100 * st.FSRate(),
-					OtherRate:   100 * st.OtherRate(),
+				jobs = append(jobs, pool.Job[Fig3Cell]{
+					Key: fmt.Sprintf("fig3/%s/%s/b%d", b.Name, ver, blk),
+					Run: func() (Fig3Cell, error) {
+						prog, err := Program(b, ver, procs, cfg.Scale, blk, transform.Config{})
+						if err != nil {
+							return Fig3Cell{}, fmt.Errorf("fig3 %s/%s: %w", b.Name, ver, err)
+						}
+						stats, err := MeasureBlocks(prog, []int64{blk})
+						if err != nil {
+							return Fig3Cell{}, fmt.Errorf("fig3 %s/%s run: %w", b.Name, ver, err)
+						}
+						st := stats[0]
+						return Fig3Cell{
+							Program:     b.Name,
+							Version:     ver,
+							Block:       blk,
+							Procs:       procs,
+							Refs:        st.Refs,
+							FSMisses:    st.FalseShare,
+							OtherMisses: st.Misses() - st.FalseShare,
+							FSRate:      100 * st.FSRate(),
+							OtherRate:   100 * st.OtherRate(),
+						}, nil
+					},
 				})
 			}
 		}
 	}
-	return out, nil
+	return pool.Run("fig3", cfg.Workers, jobs)
 }
 
 // RenderFigure3 formats the cells like the paper's bar chart, as an

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"strings"
 
-	"falseshare/internal/core"
+	"falseshare/internal/experiments/pool"
 	"falseshare/internal/sim/ksr"
 	"falseshare/internal/transform"
 	"falseshare/internal/workload"
@@ -21,58 +21,119 @@ type Curve struct {
 	MaxAt    int
 }
 
+// sweepJobs enumerates every (version × processor count) execution a
+// benchmark's Figure 4 curves need — the baseline uniprocessor run
+// first, then each version across cfg.SweepCounts — and returns the
+// assembler that turns the results, indexed like the jobs, back into
+// curves. Splitting enumeration from assembly lets Figure4 and Table3
+// fan the sweeps of *all* their benchmarks into one pool.
+func sweepJobs(b *workload.Benchmark, cfg Config, machine ksr.Config) ([]pool.Job[*ksr.Result], func([]*ksr.Result) []Curve) {
+	execute := func(ver Version, p int) pool.Job[*ksr.Result] {
+		return pool.Job[*ksr.Result]{
+			Key: fmt.Sprintf("fig4/%s/%s/p%d", b.Name, ver, p),
+			Run: func() (*ksr.Result, error) {
+				prog, err := Program(b, ver, p, cfg.Scale, machine.BlockSize, transform.Config{})
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %s/%s: %w", b.Name, ver, err)
+				}
+				r, err := ksr.Execute(prog, machine)
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %s/%s at %d procs: %w", b.Name, ver, p, err)
+				}
+				return r, nil
+			},
+		}
+	}
+
+	// Job 0: uniprocessor run of the unoptimized (or original)
+	// version — the denominator of every speedup.
+	jobs := []pool.Job[*ksr.Result]{execute(Baseline(b), 1)}
+	for _, ver := range Versions(b) {
+		for _, p := range cfg.SweepCounts {
+			jobs = append(jobs, execute(ver, p))
+		}
+	}
+
+	assemble := func(results []*ksr.Result) []Curve {
+		base := results[0].Cycles
+		var curves []Curve
+		i := 1
+		for _, ver := range Versions(b) {
+			rs := results[i : i+len(cfg.SweepCounts)]
+			i += len(cfg.SweepCounts)
+			c := Curve{Program: b.Name, Version: ver, Counts: cfg.SweepCounts}
+			for _, r := range rs {
+				c.Cycles = append(c.Cycles, r.Cycles)
+			}
+			c.Speedup = ksr.SpeedupCurve(rs, base)
+			c.MaxSpeed, c.MaxAt = ksr.MaxSpeedup(cfg.SweepCounts, c.Speedup)
+			curves = append(curves, c)
+		}
+		return curves
+	}
+	return jobs, assemble
+}
+
 // SpeedupCurves computes the speedup curves of every available version
 // of one benchmark over the configured processor counts, relative to
 // the uniprocessor execution of the baseline (unoptimized) version —
-// exactly as the paper's Figure 4 plots them.
+// exactly as the paper's Figure 4 plots them. The sweep's executions
+// fan out across cfg.Workers.
 func SpeedupCurves(b *workload.Benchmark, cfg Config, machine ksr.Config) ([]Curve, error) {
-	compileVer := func(ver Version) func(p int) (*core.Program, error) {
-		return func(p int) (*core.Program, error) {
-			return Program(b, ver, p, cfg.Scale, machine.BlockSize, transform.Config{})
-		}
-	}
-
-	// Baseline: uniprocessor run of the unoptimized (or original)
-	// version.
-	baseRes, err := ksr.Sweep([]int{1}, compileVer(Baseline(b)), machine)
+	jobs, assemble := sweepJobs(b, cfg, machine)
+	results, err := pool.Run("fig4:"+b.Name, cfg.Workers, jobs)
 	if err != nil {
-		return nil, fmt.Errorf("fig4 %s baseline: %w", b.Name, err)
+		return nil, err
 	}
-	base := baseRes[0].Cycles
+	return assemble(results), nil
+}
 
-	var curves []Curve
-	for _, ver := range Versions(b) {
-		rs, err := ksr.Sweep(cfg.SweepCounts, compileVer(ver), machine)
-		if err != nil {
-			return nil, fmt.Errorf("fig4 %s/%s: %w", b.Name, ver, err)
-		}
-		c := Curve{Program: b.Name, Version: ver, Counts: cfg.SweepCounts}
-		for _, r := range rs {
-			c.Cycles = append(c.Cycles, r.Cycles)
-		}
-		c.Speedup = ksr.SpeedupCurve(rs, base)
-		c.MaxSpeed, c.MaxAt = ksr.MaxSpeedup(cfg.SweepCounts, c.Speedup)
-		curves = append(curves, c)
+// benchCurves fans the sweeps of several benchmarks into one pool and
+// assembles per-benchmark curves, preserving the given order.
+func benchCurves(name string, benches []*workload.Benchmark, cfg Config, machine ksr.Config) ([][]Curve, error) {
+	var jobs []pool.Job[*ksr.Result]
+	type slice struct {
+		lo, hi   int
+		assemble func([]*ksr.Result) []Curve
 	}
-	return curves, nil
+	slices := make([]slice, len(benches))
+	for i, b := range benches {
+		js, assemble := sweepJobs(b, cfg, machine)
+		slices[i] = slice{lo: len(jobs), hi: len(jobs) + len(js), assemble: assemble}
+		jobs = append(jobs, js...)
+	}
+	results, err := pool.Run(name, cfg.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Curve, len(benches))
+	for i, s := range slices {
+		out[i] = s.assemble(results[s.lo:s.hi])
+	}
+	return out, nil
 }
 
 // Figure4 regenerates the paper's Figure 4: speedup curves for the
 // three representative programs (Raytrace — compiler and programmer
 // comparable; Fmm — programmer efforts bring little gain; Pverify —
-// in between).
+// in between). All three programs' sweeps share one job pool.
 func Figure4(cfg Config, machine ksr.Config) (map[string][]Curve, error) {
-	out := map[string][]Curve{}
-	for _, name := range []string{"raytrace", "fmm", "pverify"} {
+	names := []string{"raytrace", "fmm", "pverify"}
+	benches := make([]*workload.Benchmark, len(names))
+	for i, name := range names {
 		b := workload.Get(name)
 		if b == nil {
 			return nil, fmt.Errorf("fig4: %s not registered", name)
 		}
-		curves, err := SpeedupCurves(b, cfg, machine)
-		if err != nil {
-			return nil, err
-		}
-		out[name] = curves
+		benches[i] = b
+	}
+	curves, err := benchCurves("fig4", benches, cfg, machine)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]Curve{}
+	for i, name := range names {
+		out[name] = curves[i]
 	}
 	return out, nil
 }

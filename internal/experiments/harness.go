@@ -12,8 +12,10 @@ import (
 	"fmt"
 
 	"falseshare/internal/core"
+	"falseshare/internal/experiments/pool"
 	"falseshare/internal/obs"
 	"falseshare/internal/sim/cache"
+	"falseshare/internal/sim/trace"
 	"falseshare/internal/transform"
 	"falseshare/internal/vm"
 	"falseshare/internal/workload"
@@ -36,6 +38,12 @@ type Config struct {
 	// Scale multiplies workload sizes (1 = paper-shaped experiment
 	// runs; tests use smaller).
 	Scale int
+	// Workers bounds the experiment pool's concurrency (fsexp -j).
+	// Zero or negative means runtime.GOMAXPROCS; 1 runs every job
+	// serially in submission order on the calling goroutine. Results
+	// are identical at any worker count — the jobs share nothing but
+	// read-only workload sources.
+	Workers int
 	// Fig3Procs is the Figure 3 processor count (12 in the paper;
 	// Topopt ran on 9).
 	Fig3Procs       int
@@ -112,8 +120,25 @@ func Versions(b *workload.Benchmark) []Version {
 
 // MeasureBlocks executes a program once and measures it with one cache
 // simulator per block size (the trace is identical across block
-// sizes, so a single execution feeds them all).
+// sizes, so a single execution feeds them all). With more than one
+// block size the simulators run sharded across goroutines; see
+// MeasureBlocksN.
 func MeasureBlocks(prog *core.Program, blocks []int64) ([]*cache.Stats, error) {
+	return MeasureBlocksN(prog, blocks, 0)
+}
+
+// MeasureBlocksN is MeasureBlocks with an explicit worker bound
+// (<= 0: runtime.GOMAXPROCS). With workers == 1 — or a single block
+// size, or a single available CPU — the VM feeds every simulator
+// inline from its own goroutine, the pre-sharding serial path.
+// Otherwise the VM publishes references in fixed-size batches to one
+// goroutine per block-size simulator: every simulator still consumes
+// the identical full trace in order, so the stats match the serial
+// path exactly.
+func MeasureBlocksN(prog *core.Program, blocks []int64, workers int) ([]*cache.Stats, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("experiments: MeasureBlocks: no block sizes given")
+	}
 	sp := obs.Begin("measure")
 	defer sp.End()
 	sp.Set("blocks", int64(len(blocks)))
@@ -127,13 +152,36 @@ func MeasureBlocks(prog *core.Program, blocks []int64) ([]*cache.Stats, error) {
 		sims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
 	}
 	m := vm.New(bc)
-	if err := m.Run(func(r vm.Ref) {
-		for _, s := range sims {
-			s.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
+
+	if pool.Workers(workers) == 1 || len(blocks) == 1 {
+		if err := m.Run(func(r vm.Ref) {
+			for _, s := range sims {
+				s.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
+			}
+		}); err != nil {
+			return nil, err
 		}
-	}); err != nil {
-		return nil, err
+	} else {
+		sinks := make([]trace.Sink, len(sims))
+		for i, s := range sims {
+			s := s
+			sinks[i] = func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) }
+		}
+		pt := trace.NewParTee(0, sinks...)
+		// One worker span per simulator, attached under measure in
+		// block order before the stream starts.
+		for i, blk := range blocks {
+			pt.SetSpan(i, sp.Child(fmt.Sprintf("sim:b%d", blk)))
+		}
+		runErr := m.Run(pt.Sink())
+		if err := pt.Close(); err != nil {
+			return nil, err
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
 	}
+
 	out := make([]*cache.Stats, len(sims))
 	for i, s := range sims {
 		out[i] = s.Stats()

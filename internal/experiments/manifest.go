@@ -85,6 +85,7 @@ func WriteManifest(dir, name string, rep *obs.Report) (string, error) {
 func ConfigMap(cfg Config) map[string]any {
 	return map[string]any{
 		"scale":             cfg.Scale,
+		"workers":           cfg.Workers,
 		"fig3_procs":        cfg.Fig3Procs,
 		"fig3_procs_topopt": cfg.Fig3ProcsTopopt,
 		"fig3_blocks":       cfg.Fig3Blocks,

@@ -1,0 +1,141 @@
+// Package pool runs independent experiment jobs across a bounded set
+// of worker goroutines. The evaluation's jobs (program × version ×
+// nprocs × block) share nothing but read-only workload sources, so
+// they parallelize freely; what the pool adds over `go` is the
+// discipline the manifests and tests need:
+//
+//   - results come back indexed like the submitted jobs, regardless of
+//     completion order, so every figure renders identically at any -j;
+//   - a panicking job is recovered and surfaced as that job's error
+//     (with its stack), never a crashed process;
+//   - each job records observability spans into its own private
+//     recorder, grafted under a per-job span in submission order, so a
+//     parallel run's manifest has the same deterministic span tree as
+//     a serial one.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"falseshare/internal/obs"
+)
+
+// Job is one unit of work. Key names the job in errors and span trees
+// ("fig3/maxflow/N/b128"); Run produces its result.
+type Job[T any] struct {
+	Key string
+	Run func() (T, error)
+}
+
+// Error wraps a job failure with the job's key.
+type Error struct {
+	Key string
+	Err error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %v", e.Key, e.Err) }
+
+// Unwrap exposes the underlying job error.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Workers normalizes a -j style worker count: values <= 0 mean
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes the jobs with at most workers concurrent (workers <= 0:
+// GOMAXPROCS) and returns their results indexed like jobs. All jobs
+// run even if some fail; the returned error is the first failure in
+// submission order (deterministic at any worker count). With one
+// worker, jobs run serially in the calling goroutine — no goroutines
+// are spawned — preserving the pre-pool execution order exactly.
+func Run[T any](name string, workers int, jobs []Job[T]) ([]T, error) {
+	workers = Workers(workers)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	// The span tree is laid out before any job runs: one child per job
+	// in submission order, so the manifest's shape does not depend on
+	// scheduling. Each job then records into a private recorder whose
+	// spans are grafted under its pre-made child.
+	parent := obs.Begin("pool:" + name)
+	parent.Set("jobs", int64(len(jobs)))
+	parent.Set("workers", int64(workers))
+	defer parent.End()
+	spans := make([]*obs.Span, len(jobs))
+	for i, j := range jobs {
+		spans[i] = parent.Child("job:" + j.Key)
+	}
+	base := obs.Current()
+
+	results := make([]T, len(jobs))
+	errs := make([]error, len(jobs))
+	runJob := func(i int) {
+		results[i], errs[i] = runOne(base, spans[i], jobs[i])
+	}
+
+	if workers <= 1 {
+		for i := range jobs {
+			runJob(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runJob(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return results, &Error{Key: jobs[i].Key, Err: err}
+		}
+	}
+	return results, nil
+}
+
+// runOne executes a single job under its own recorder, converting a
+// panic into the job's error.
+func runOne[T any](base *obs.Recorder, span *obs.Span, job Job[T]) (result T, err error) {
+	var rec *obs.Recorder
+	if base != nil {
+		rec = obs.NewRecorder()
+		rec.Verbose = base.Verbose
+		rec.LogW = base.LogW
+		prev := obs.BindGoroutine(rec)
+		defer obs.BindGoroutine(prev)
+	}
+	start := time.Now()
+	defer func() {
+		if rec != nil {
+			span.Adopt(rec.Spans())
+		}
+		span.SetWall(time.Since(start))
+		span.End()
+		if p := recover(); p != nil {
+			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
+			span.Set("panic", 1)
+		}
+	}()
+	return job.Run()
+}

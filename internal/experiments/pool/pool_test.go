@@ -1,0 +1,184 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"falseshare/internal/obs"
+)
+
+// TestParallelPoolOrdering: results come back indexed like the jobs
+// no matter how completion order scrambles — late jobs must not
+// displace early ones.
+func TestParallelPoolOrdering(t *testing.T) {
+	const n = 64
+	jobs := make([]Job[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("job%02d", i),
+			Run: func() (int, error) {
+				// Early jobs sleep longest, so completion order is
+				// roughly the reverse of submission order.
+				time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+				return i * i, nil
+			},
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		got, err := Run("order", workers, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestParallelPoolBoundedConcurrency: never more than `workers` jobs
+// in flight.
+func TestParallelPoolBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	jobs := make([]Job[struct{}], 24)
+	for i := range jobs {
+		jobs[i] = Job[struct{}]{
+			Key: fmt.Sprintf("j%d", i),
+			Run: func() (struct{}, error) {
+				cur := inFlight.Add(1)
+				for {
+					p := peak.Load()
+					if cur <= p || peak.CompareAndSwap(p, cur) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				inFlight.Add(-1)
+				return struct{}{}, nil
+			},
+		}
+	}
+	if _, err := Run("bounded", workers, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestParallelPoolPanicRecovery: a panicking job becomes that job's
+// error (with its key and stack), other jobs still complete, and the
+// first failure in submission order wins deterministically.
+func TestParallelPoolPanicRecovery(t *testing.T) {
+	ran := make([]atomic.Bool, 4)
+	jobs := []Job[int]{
+		{Key: "ok0", Run: func() (int, error) { ran[0].Store(true); return 1, nil }},
+		{Key: "boom", Run: func() (int, error) { ran[1].Store(true); panic("kaboom") }},
+		{Key: "fail", Run: func() (int, error) { ran[2].Store(true); return 0, errors.New("plain error") }},
+		{Key: "ok3", Run: func() (int, error) { ran[3].Store(true); return 4, nil }},
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := Run("panics", workers, jobs)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		var pe *Error
+		if !errors.As(err, &pe) || pe.Key != "boom" {
+			t.Errorf("workers=%d: first failure should be job \"boom\": %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("workers=%d: panic value missing from error: %v", workers, err)
+		}
+		for i := range ran {
+			if !ran[i].Load() {
+				t.Errorf("workers=%d: job %d did not run despite earlier failure", workers, i)
+			}
+		}
+		if got[3] != 4 {
+			t.Errorf("workers=%d: healthy job's result lost: %v", workers, got)
+		}
+	}
+}
+
+// TestParallelPoolSpanTree: the pool records one child span per job in
+// submission order — regardless of worker count — and grafts each
+// job's privately recorded spans under its own child.
+func TestParallelPoolSpanTree(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rec := obs.NewRecorder()
+		obs.Install(rec)
+		jobs := make([]Job[int], 8)
+		for i := range jobs {
+			i := i
+			jobs[i] = Job[int]{
+				Key: fmt.Sprintf("k%d", i),
+				Run: func() (int, error) {
+					sp := obs.Begin("inner")
+					sp.Set("idx", int64(i))
+					sp.End()
+					return i, nil
+				},
+			}
+		}
+		_, err := Run("spans", workers, jobs)
+		obs.Install(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spans := rec.Spans()
+		if len(spans) != 1 || spans[0].Name != "pool:spans" {
+			t.Fatalf("workers=%d: top spans = %+v", workers, spans)
+		}
+		p := spans[0]
+		if p.Counter("jobs") != 8 {
+			t.Errorf("workers=%d: jobs counter = %d", workers, p.Counter("jobs"))
+		}
+		if len(p.Children) != 8 {
+			t.Fatalf("workers=%d: %d job spans, want 8", workers, len(p.Children))
+		}
+		for i, c := range p.Children {
+			if want := fmt.Sprintf("job:k%d", i); c.Name != want {
+				t.Errorf("workers=%d: child %d = %q, want %q (submission order)", workers, i, c.Name, want)
+			}
+			if len(c.Children) != 1 || c.Children[0].Name != "inner" {
+				t.Fatalf("workers=%d: job %d subtree = %+v", workers, i, c.Children)
+			}
+			if got := c.Children[0].Counters["idx"]; got != int64(i) {
+				t.Errorf("workers=%d: job %d adopted wrong subtree (idx=%d)", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestParallelPoolNoRecorder: with observability off the pool neither
+// panics nor installs anything.
+func TestParallelPoolNoRecorder(t *testing.T) {
+	obs.Install(nil)
+	got, err := Run("quiet", 4, []Job[string]{
+		{Key: "a", Run: func() (string, error) { return "x", nil }},
+		{Key: "b", Run: func() (string, error) { return "y", nil }},
+	})
+	if err != nil || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("got %v, %v", got, err)
+	}
+	if obs.Current() != nil {
+		t.Error("pool leaked a recorder binding")
+	}
+}
+
+// TestParallelWorkersDefault: the GOMAXPROCS default and clamping.
+func TestParallelWorkersDefault(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("Workers must default to at least 1")
+	}
+	if Workers(7) != 7 {
+		t.Error("explicit worker counts pass through")
+	}
+}

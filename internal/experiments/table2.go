@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"falseshare/internal/experiments/pool"
 	"falseshare/internal/transform"
 	"falseshare/internal/workload"
 )
@@ -46,44 +48,89 @@ func onlyConfigs() map[string]transform.Config {
 	}
 }
 
+// table2Key indexes one Table 2 measurement: a benchmark's FS miss
+// count at one block size, for the unoptimized program ("N") or one
+// heuristic variant.
+type table2Key struct {
+	prog    string
+	block   int64
+	variant string // "N" or an onlyConfigs key
+}
+
 // Table2 regenerates the paper's Table 2 for the six unoptimizable
 // programs: the false-sharing reduction of the full restructurer and
 // of each transformation in isolation, averaged over the block sizes.
+//
+// Every (program × block × variant) measurement — including the
+// unoptimized reference — is an independent job; the reductions are
+// aggregated after the fan-out, in the same block order as the old
+// serial loop. Variant runs at block sizes where the unoptimized
+// program shows no false sharing are discarded, exactly as the serial
+// path skipped them.
 func Table2(cfg Config) ([]Table2Row, error) {
 	variants := onlyConfigs()
-	var rows []Table2Row
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var jobs []pool.Job[int64]
+	var keys []table2Key
+	add := func(b *workload.Benchmark, procs int, blk int64, variant string, hc transform.Config) {
+		keys = append(keys, table2Key{prog: b.Name, block: blk, variant: variant})
+		ver := VersionC
+		if variant == "N" {
+			ver = VersionN
+		}
+		jobs = append(jobs, pool.Job[int64]{
+			Key: fmt.Sprintf("table2/%s/b%d/%s", b.Name, blk, variant),
+			Run: func() (int64, error) {
+				prog, err := Program(b, ver, procs, cfg.Scale, blk, hc)
+				if err != nil {
+					return 0, fmt.Errorf("table2 %s %s: %w", b.Name, variant, err)
+				}
+				stats, err := MeasureBlocks(prog, []int64{blk})
+				if err != nil {
+					return 0, err
+				}
+				return stats[0].FalseShare, nil
+			},
+		})
+	}
 	for _, b := range workload.Unoptimizable() {
 		procs := cfg.Fig3Procs
 		if b.Name == "topopt" && cfg.Fig3ProcsTopopt > 0 {
 			procs = cfg.Fig3ProcsTopopt
 		}
-		row := Table2Row{Program: b.Name}
+		for _, blk := range cfg.Table2Blocks {
+			add(b, procs, blk, "N", transform.Config{})
+			for _, name := range names {
+				add(b, procs, blk, name, variants[name])
+			}
+		}
+	}
 
-		// Per block size: FS misses of N and of each variant.
+	fsCounts, err := pool.Run("table2", cfg.Workers, jobs)
+	if err != nil {
+		return nil, err
+	}
+	fs := make(map[table2Key]int64, len(keys))
+	for i, k := range keys {
+		fs[k] = fsCounts[i]
+	}
+
+	var rows []Table2Row
+	for _, b := range workload.Unoptimizable() {
+		row := Table2Row{Program: b.Name}
 		reductions := map[string][]float64{}
 		for _, blk := range cfg.Table2Blocks {
-			nProg, err := Program(b, VersionN, procs, cfg.Scale, blk, transform.Config{})
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s N: %w", b.Name, err)
-			}
-			nStats, err := MeasureBlocks(nProg, []int64{blk})
-			if err != nil {
-				return nil, err
-			}
-			fsN := nStats[0].FalseShare
+			fsN := fs[table2Key{prog: b.Name, block: blk, variant: "N"}]
 			if fsN == 0 {
 				continue // no false sharing at this block size
 			}
-			for name, hc := range variants {
-				cProg, err := Program(b, VersionC, procs, cfg.Scale, blk, hc)
-				if err != nil {
-					return nil, fmt.Errorf("table2 %s %s: %w", b.Name, name, err)
-				}
-				cStats, err := MeasureBlocks(cProg, []int64{blk})
-				if err != nil {
-					return nil, err
-				}
-				red := 1 - float64(cStats[0].FalseShare)/float64(fsN)
+			for _, name := range names {
+				red := 1 - float64(fs[table2Key{prog: b.Name, block: blk, variant: name}])/float64(fsN)
 				if red < 0 {
 					red = 0
 				}

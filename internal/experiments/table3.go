@@ -21,14 +21,17 @@ type Table3Row struct {
 	Curves []Curve
 }
 
-// Table3 regenerates the paper's Table 3 across the whole suite.
+// Table3 regenerates the paper's Table 3 across the whole suite. The
+// sweeps of all ten programs fan out through one job pool.
 func Table3(cfg Config, machine ksr.Config) ([]Table3Row, error) {
+	benches := workload.All()
+	perBench, err := benchCurves("table3", benches, cfg, machine)
+	if err != nil {
+		return nil, fmt.Errorf("table3: %w", err)
+	}
 	var rows []Table3Row
-	for _, b := range workload.All() {
-		curves, err := SpeedupCurves(b, cfg, machine)
-		if err != nil {
-			return nil, fmt.Errorf("table3 %s: %w", b.Name, err)
-		}
+	for i, b := range benches {
+		curves := perBench[i]
 		row := Table3Row{
 			Program: b.Name,
 			Max:     map[Version]float64{},

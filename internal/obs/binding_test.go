@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParallelGoroutineBinding: a goroutine-bound recorder captures
+// that goroutine's spans; other goroutines keep hitting the installed
+// recorder; unbinding restores the previous routing.
+func TestParallelGoroutineBinding(t *testing.T) {
+	global := NewRecorder()
+	Install(global)
+	defer Install(nil)
+
+	var wg sync.WaitGroup
+	recs := make([]*Recorder, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := NewRecorder()
+			recs[i] = rec
+			prev := BindGoroutine(rec)
+			if prev != nil {
+				t.Errorf("worker %d: unexpected previous binding", i)
+			}
+			if Current() != rec {
+				t.Errorf("worker %d: Current() is not the bound recorder", i)
+			}
+			sp := Begin("work")
+			sp.Set("worker", int64(i))
+			sp.End()
+			BindGoroutine(prev)
+			if Current() != global {
+				t.Errorf("worker %d: unbinding did not restore the installed recorder", i)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := len(global.Spans()); n != 0 {
+		t.Errorf("installed recorder captured %d worker spans, want 0", n)
+	}
+	for i, rec := range recs {
+		spans := rec.Spans()
+		if len(spans) != 1 || spans[0].Name != "work" || spans[0].Counters["worker"] != int64(i) {
+			t.Errorf("worker %d recorder: %+v", i, spans)
+		}
+	}
+}
+
+// TestParallelBindingNesting: bindings save/restore like a stack.
+func TestParallelBindingNesting(t *testing.T) {
+	defer Install(nil)
+	Install(nil)
+	outer, inner := NewRecorder(), NewRecorder()
+
+	prev0 := BindGoroutine(outer)
+	if prev0 != nil || Current() != outer {
+		t.Fatal("first bind")
+	}
+	prev1 := BindGoroutine(inner)
+	if prev1 != outer || Current() != inner {
+		t.Fatal("nested bind must return the outer recorder")
+	}
+	BindGoroutine(prev1)
+	if Current() != outer {
+		t.Fatal("restore to outer")
+	}
+	BindGoroutine(prev0)
+	if Current() != nil {
+		t.Fatal("restore to unbound")
+	}
+}
+
+// TestDetachedChildSpans: Child attaches under its parent outside the
+// recorder stack, so concurrent children never capture each other —
+// and attachment order is creation order, not completion order.
+func TestDetachedChildSpans(t *testing.T) {
+	rec := NewRecorder()
+	parent := rec.Begin("stage")
+	a := parent.Child("a")
+	b := parent.Child("b")
+
+	var wg sync.WaitGroup
+	for _, c := range []*Span{b, a} { // end in reverse order
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Count("hits", 2)
+			c.End()
+		}()
+	}
+	wg.Wait()
+
+	// A detached End must not pop the recorder stack: "stage" is still
+	// the innermost open span.
+	nested := rec.Begin("nested")
+	nested.End()
+	parent.End()
+
+	spans := rec.Spans()
+	if len(spans) != 1 || spans[0].Name != "stage" {
+		t.Fatalf("top: %+v", spans)
+	}
+	kids := spans[0].Children
+	if len(kids) != 3 || kids[0].Name != "a" || kids[1].Name != "b" || kids[2].Name != "nested" {
+		t.Fatalf("children out of order: %+v", kids)
+	}
+	if kids[0].Counters["hits"] != 2 || kids[1].Counters["hits"] != 2 {
+		t.Errorf("counters: %+v", kids)
+	}
+}
+
+// TestAdoptAndSetWall: grafting snapshot spans and stamping wall
+// times, the pool's manifest mechanics.
+func TestAdoptAndSetWall(t *testing.T) {
+	job := NewRecorder()
+	s := job.Begin("inner")
+	s.End()
+
+	main := NewRecorder()
+	slot := main.Begin("stage").Child("job:k")
+	slot.Adopt(job.Spans())
+	slot.SetWall(123 * time.Millisecond)
+	slot.End()
+
+	spans := main.Spans()
+	jobSpan := spans[0].Children[0]
+	if jobSpan.Wall != 123*time.Millisecond {
+		t.Errorf("SetWall overridden: %v", jobSpan.Wall)
+	}
+	if len(jobSpan.Children) != 1 || jobSpan.Children[0].Name != "inner" {
+		t.Errorf("adopted tree: %+v", jobSpan.Children)
+	}
+
+	// All nil-safe.
+	var nilSpan *Span
+	nilSpan.Adopt(job.Spans())
+	nilSpan.SetWall(time.Second)
+	if nilSpan.Child("x") != nil {
+		t.Error("Child of nil span must be nil")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -29,9 +30,10 @@ type Span struct {
 	Counters map[string]int64
 	Children []*Span
 
-	rec   *Recorder
-	depth int
-	open  bool
+	rec      *Recorder
+	depth    int
+	open     bool
+	detached bool
 }
 
 // Recorder accumulates a tree of spans for one run. All methods are
@@ -66,22 +68,74 @@ var installed atomic.Pointer[Recorder]
 // Install makes r the process-wide recorder (nil uninstalls).
 func Install(r *Recorder) { installed.Store(r) }
 
-// Default returns the process-wide recorder, or nil.
+// Default returns the process-wide recorder, or nil. It ignores
+// goroutine bindings; use Current for the recorder Begin would pick.
 func Default() *Recorder { return installed.Load() }
 
-// Begin opens a span on the process-wide recorder; it returns nil
-// (a no-op span) when no recorder is installed.
+// bound maps goroutine IDs to recorders. A worker that binds its own
+// recorder (BindGoroutine) routes every Begin/Logf on that goroutine
+// into it instead of the process-wide one — this is how the experiment
+// pool keeps concurrent jobs' span trees from interleaving on the
+// shared recorder stack.
+var bound sync.Map // int64 -> *Recorder
+
+// goid returns the current goroutine's ID, parsed from the runtime
+// stack header ("goroutine N [running]:"). This costs ~1µs — fine for
+// span creation, which happens per pipeline stage, not per reference.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// BindGoroutine routes this goroutine's Begin/Logf/Current calls to r
+// (nil removes the binding) and returns the previously bound recorder
+// so callers can nest bindings save/restore style. Other goroutines
+// are unaffected: they keep using the installed recorder.
+func BindGoroutine(r *Recorder) *Recorder {
+	id := goid()
+	var prev *Recorder
+	if v, ok := bound.Load(id); ok {
+		prev = v.(*Recorder)
+	}
+	if r == nil {
+		bound.Delete(id)
+	} else {
+		bound.Store(id, r)
+	}
+	return prev
+}
+
+// Current returns the recorder Begin would record into from this
+// goroutine: the goroutine-bound recorder when one is set, else the
+// process-wide one, else nil.
+func Current() *Recorder {
+	if v, ok := bound.Load(goid()); ok {
+		return v.(*Recorder)
+	}
+	return installed.Load()
+}
+
+// Begin opens a span on the current recorder; it returns nil (a no-op
+// span) when no recorder is installed or bound.
 func Begin(name string) *Span {
-	if r := installed.Load(); r != nil {
+	if r := Current(); r != nil {
 		return r.Begin(name)
 	}
 	return nil
 }
 
-// Logf writes a progress line to the process-wide recorder's log when
-// it is installed and verbose.
+// Logf writes a progress line to the current recorder's log when it
+// is installed and verbose.
 func Logf(format string, args ...any) {
-	if r := installed.Load(); r != nil {
+	if r := Current(); r != nil {
 		r.Logf(format, args...)
 	}
 }
@@ -127,6 +181,21 @@ func (s *Span) End() {
 		r.mu.Unlock()
 		return
 	}
+	if s.detached {
+		// Detached spans live outside the recorder stack (they belong
+		// to a concurrent worker); just close them in place.
+		s.open = false
+		if s.Wall == 0 {
+			s.Wall = time.Since(s.Started)
+		}
+		verbose := r.Verbose
+		r.mu.Unlock()
+		if verbose {
+			fmt.Fprintf(r.logw(), "obs: %s%-18s %10s%s\n",
+				strings.Repeat("  ", s.depth-1), s.Name, s.Wall.Round(time.Microsecond), s.counterSuffix())
+		}
+		return
+	}
 	now := time.Now()
 	// Pop the stack down to and including this span.
 	for i := len(r.stack) - 1; i >= 1; i-- {
@@ -162,6 +231,51 @@ func (s *Span) counterSuffix() string {
 		fmt.Fprintf(&sb, " %s=%d", k, s.Counters[k])
 	}
 	return sb.String()
+}
+
+// Child opens a span attached directly under s, bypassing the
+// recorder's stack: concurrent workers each get their own child so
+// their spans never interleave with (or capture) each other's.
+// Children attach in call order, so creating them before fan-out
+// yields a deterministic tree regardless of completion order.
+// nil-safe; Child of a snapshot span returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil || s.rec == nil {
+		return nil
+	}
+	r := s.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &Span{Name: name, Started: time.Now(), rec: r, depth: s.depth + 1, open: true, detached: true}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Adopt attaches snapshot spans (e.g. another recorder's Spans())
+// under s. The experiment pool uses it to graft each job's privately
+// recorded tree into the parent run's manifest. nil-safe.
+func (s *Span) Adopt(children []*Span) {
+	if s == nil || len(children) == 0 {
+		return
+	}
+	if r := s.rec; r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	s.Children = append(s.Children, children...)
+}
+
+// SetWall overrides the span's wall time (the pool stamps each job
+// span with the job's run time, excluding queue wait). nil-safe.
+func (s *Span) SetWall(d time.Duration) {
+	if s == nil {
+		return
+	}
+	if r := s.rec; r != nil {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+	s.Wall = d
 }
 
 // Count adds delta to a named counter. nil-safe.

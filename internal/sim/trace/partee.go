@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"falseshare/internal/obs"
+	"falseshare/internal/vm"
+)
+
+// DefaultBatch is the ParTee batch size: large enough that channel
+// sends amortize to nothing against the per-reference simulation cost,
+// small enough to keep workers busy on short traces.
+const DefaultBatch = 8192
+
+// ParTee fans one reference stream out to several sinks, each running
+// on its own goroutine and fed fixed-size batches. The stream every
+// sink observes is identical to — and in the same order as — the one a
+// plain Tee would deliver, so deterministic consumers (the cache
+// simulators: the trace is identical across block sizes) produce
+// results identical to the serial path. Batches are shared read-only
+// across workers and never mutated after publication.
+type ParTee struct {
+	sinks []Sink
+	chans []chan []vm.Ref
+	spans []*obs.Span
+	wg    sync.WaitGroup
+
+	batchSize int
+	cur       []vm.Ref
+
+	mu     sync.Mutex
+	panics []error
+}
+
+// NewParTee starts one goroutine per sink. batch <= 0 uses
+// DefaultBatch. Feed references through Sink() and finish with Close().
+func NewParTee(batch int, sinks ...Sink) *ParTee {
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	t := &ParTee{
+		sinks:     sinks,
+		chans:     make([]chan []vm.Ref, len(sinks)),
+		spans:     make([]*obs.Span, len(sinks)),
+		batchSize: batch,
+		cur:       make([]vm.Ref, 0, batch),
+	}
+	for i := range sinks {
+		// A little buffering decouples the producer (the VM) from
+		// transient per-sink speed differences.
+		t.chans[i] = make(chan []vm.Ref, 4)
+		t.wg.Add(1)
+		go t.worker(i)
+	}
+	return t
+}
+
+// SetSpan attaches an observability span to worker i; the worker
+// stamps it with refs/batches counters and ends it when the stream
+// closes. Call before feeding references.
+func (t *ParTee) SetSpan(i int, s *obs.Span) { t.spans[i] = s }
+
+func (t *ParTee) worker(i int) {
+	defer t.wg.Done()
+	var refs, batches int64
+	defer func() {
+		if p := recover(); p != nil {
+			t.mu.Lock()
+			t.panics = append(t.panics, fmt.Errorf("trace: sink %d panicked: %v\n%s", i, p, debug.Stack()))
+			t.mu.Unlock()
+			for range t.chans[i] {
+				// Drain so the producer never blocks on a dead worker.
+			}
+		}
+		sp := t.spans[i]
+		sp.Set("refs", refs)
+		sp.Set("batches", batches)
+		sp.End()
+	}()
+	sink := t.sinks[i]
+	for b := range t.chans[i] {
+		batches++
+		refs += int64(len(b))
+		for _, r := range b {
+			sink(r)
+		}
+	}
+}
+
+// Sink returns the producer-side sink. It must be called from a single
+// goroutine (the VM's run loop).
+func (t *ParTee) Sink() Sink {
+	return func(r vm.Ref) {
+		t.cur = append(t.cur, r)
+		if len(t.cur) == t.batchSize {
+			t.publish()
+		}
+	}
+}
+
+func (t *ParTee) publish() {
+	b := t.cur
+	for _, ch := range t.chans {
+		ch <- b
+	}
+	t.cur = make([]vm.Ref, 0, t.batchSize)
+}
+
+// Close flushes the final partial batch, waits for every worker to
+// finish, and surfaces any sink panic as an error.
+func (t *ParTee) Close() error {
+	if len(t.cur) > 0 {
+		t.publish()
+	}
+	for _, ch := range t.chans {
+		close(ch)
+	}
+	t.wg.Wait()
+	if len(t.panics) > 0 {
+		return t.panics[0]
+	}
+	return nil
+}
