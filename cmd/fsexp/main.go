@@ -10,21 +10,41 @@
 //	fsexp -all -scale-min -j 4                        # smoke-test config
 //	fsexp -all -reportdir runs/                       # one JSON manifest
 //	                                                  # per figure/table
+//	fsexp -all -resume runs/r1                        # checkpoint cells;
+//	                                                  # re-run resumes
+//	fsexp -all -keep-going                            # render what
+//	                                                  # survives failures
 //
 // Every figure and table is regenerated from independent
 // compile→run→simulate jobs fanned out over -j workers (default:
 // GOMAXPROCS). Results are identical at any -j; -j 1 preserves the
 // serial execution order exactly.
+//
+// Fault tolerance: Ctrl-C (or SIGTERM) cancels the run cooperatively —
+// cells in flight stop at their next cancellation check, finished
+// cells stay checkpointed when -resume is set, and a second interrupt
+// exits immediately. -job-timeout bounds each cell, -retries re-runs
+// transiently failed cells, -step-budget caps VM instructions so a
+// runaway program fails instead of hanging. -faults (or the
+// FSEXP_FAULTS environment variable) injects deterministic faults for
+// testing; see internal/faultinject.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 
 	"falseshare/internal/experiments"
+	"falseshare/internal/experiments/journal"
+	"falseshare/internal/experiments/pool"
+	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
 	"falseshare/internal/sim/ksr"
 )
@@ -45,6 +65,13 @@ func main() {
 		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = serial)")
 
 		scaleMin = flag.Bool("scale-min", false, "minimal sweeps and block sets (CI smoke runs)")
+
+		resume     = flag.String("resume", "", "checkpoint completed cells into this directory's journal and skip cells already checkpointed")
+		keepGoing  = flag.Bool("keep-going", false, "keep running after cell failures and render partial figures/tables (default: fail fast)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-cell deadline, e.g. 90s (0 = none)")
+		retries    = flag.Int("retries", 0, "retry a transiently failed cell up to this many times")
+		stepBudget = flag.Int64("step-budget", 0, "per-process VM instruction cap (0 = the VM default of 1e9)")
+		faults     = flag.String("faults", "", "deterministic fault-injection spec (testing; see internal/faultinject)")
 
 		reportDir = flag.String("reportdir", "", "write one JSON run manifest per figure/table into this directory")
 		verbose   = flag.Bool("v", false, "log experiment progress to stderr")
@@ -73,9 +100,23 @@ func main() {
 		obs.Install(rec)
 	}
 
+	if *faults != "" {
+		s, err := faultinject.Parse(*faults)
+		check(err)
+		faultinject.Enable(s)
+	} else if _, err := faultinject.FromEnv(os.Getenv("FSEXP_FAULTS")); err != nil {
+		check(fmt.Errorf("FSEXP_FAULTS: %w", err))
+	}
+
 	cfg := experiments.DefaultConfig()
 	cfg.Scale = *scale
 	cfg.Workers = *jobs
+	cfg.StepBudget = *stepBudget
+	cfg.Policy = pool.Policy{
+		FailFast:   !*keepGoing,
+		JobTimeout: *jobTimeout,
+		Retries:    *retries,
+	}
 	if *quick {
 		cfg.SweepCounts = []int{1, 2, 4, 8, 12, 16, 20, 28}
 		cfg.Table2Blocks = []int64{16, 64, 128, 256}
@@ -87,23 +128,95 @@ func main() {
 	}
 	machine := ksr.DefaultConfig()
 
+	// First interrupt: cancel the run cooperatively — cells in flight
+	// stop at their next check, the journal and any partial manifests
+	// are flushed on the way out. Second interrupt: exit immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Ctx = ctx
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fsexp: interrupt — draining (interrupt again to exit immediately)")
+		cancel()
+		<-sigc
+		os.Exit(130)
+	}()
+
+	var jnl *journal.Journal
+	if *resume != "" {
+		var err error
+		jnl, err = journal.Open(*resume)
+		check(err)
+		if n := jnl.Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "fsexp: resuming: %d cells checkpointed in %s\n", n, jnl.Path())
+		}
+		defer jnl.Close()
+		cfg.Journal = jnl
+	}
+
+	// failSections collects per-experiment partial-failure reports; they
+	// are printed after every rendered figure/table, and make the run
+	// exit nonzero.
+	var failSections []string
+	interrupted := false
+
+	// fatal ends the run on an experiment error: journal flushed,
+	// resume hint printed, exit code 130 for an interrupted run and 1
+	// otherwise.
+	fatal := func(name string, err error) {
+		jnl.Close()
+		fmt.Fprintf(os.Stderr, "fsexp: %s: %v\n", name, err)
+		code := 1
+		if errors.Is(err, context.Canceled) {
+			code = 130
+		}
+		if *resume != "" {
+			fmt.Fprintf(os.Stderr, "fsexp: completed cells are checkpointed; re-run with -resume %s to continue\n", *resume)
+		} else {
+			fmt.Fprintln(os.Stderr, "fsexp: hint: run with -resume <dir> to make interrupted runs resumable")
+		}
+		os.Exit(code)
+	}
+
 	// run executes one experiment. With -reportdir every run records
 	// into its own manifest (stage spans plus the result rows) written
-	// as <dir>/<name>.json, so benchmark trajectories diff as JSON.
+	// as <dir>/<name>.json — even for a failed or partial run, so an
+	// interrupted invocation still leaves its manifests behind. With
+	// -keep-going a *Partial failure renders whatever survived and the
+	// failed cell keys are reported (and recorded in the manifest under
+	// "failed"); any other failure is fatal.
 	run := func(name string, fn func() (any, error)) any {
+		var v any
+		var err error
 		if *reportDir == "" {
-			v, err := fn()
-			check(err)
-			return v
+			v, err = fn()
+		} else {
+			var rep *obs.Report
+			rep, err = experiments.RunManifest("fsexp", name, experiments.ConfigMap(cfg), fn)
+			if p, ok := experiments.AsPartial(err); ok {
+				rep.AddData("failed", p.Failed)
+			}
+			path, werr := experiments.WriteManifest(*reportDir, name, rep)
+			if werr != nil {
+				fatal(name, werr)
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "fsexp: %s manifest -> %s\n", name, path)
+			}
+			v = rep.Data["result"]
 		}
-		rep, err := experiments.RunManifest("fsexp", name, experiments.ConfigMap(cfg), fn)
-		check(err)
-		path, werr := experiments.WriteManifest(*reportDir, name, rep)
-		check(werr)
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "fsexp: %s manifest -> %s\n", name, path)
+		if err != nil {
+			p, ok := experiments.AsPartial(err)
+			if !ok || !*keepGoing {
+				fatal(name, err)
+			}
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+			}
+			failSections = append(failSections, fmt.Sprintf("%s: %d of %d cells failed:\n%s", name, len(p.Failed), p.Total, p.Details()))
 		}
-		v := rep.Data["result"]
 		return v
 	}
 
@@ -153,12 +266,27 @@ func main() {
 		fmt.Println(experiments.RenderTable3(rows))
 	}
 	if *ccost {
-		rows := run("compilecost", func() (any, error) { return experiments.CompileCost(*scale, 12, 5, *jobs) }).([]experiments.CompileCostRow)
+		rows := run("compilecost", func() (any, error) { return experiments.CompileCost(cfg, 12, 5) }).([]experiments.CompileCostRow)
 		fmt.Println(experiments.RenderCompileCost(rows))
 	}
 
 	if *memprof != "" {
 		check(obs.WriteHeapProfile(*memprof))
+	}
+
+	if len(failSections) > 0 {
+		fmt.Println("Failed cells:")
+		for _, s := range failSections {
+			fmt.Print(s)
+		}
+		jnl.Close()
+		if *resume != "" {
+			fmt.Fprintf(os.Stderr, "fsexp: completed cells are checkpointed; re-run with -resume %s to retry only the failed ones\n", *resume)
+		}
+		if interrupted {
+			os.Exit(130)
+		}
+		os.Exit(1)
 	}
 }
 

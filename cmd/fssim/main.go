@@ -12,16 +12,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"falseshare/internal/core"
 	"falseshare/internal/experiments"
+	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
 	"falseshare/internal/sim/cache"
 	"falseshare/internal/sim/trace"
@@ -44,12 +49,40 @@ func main() {
 		saveTrace   = flag.String("save-trace", "", "also store the reference trace to this file")
 		replay      = flag.String("replay", "", "simulate a stored trace instead of executing a program")
 
+		stepBudget = flag.Int64("step-budget", 0, "per-process VM instruction cap (0 = the VM default of 1e9)")
+		faults     = flag.String("faults", "", "deterministic fault-injection spec (testing; see internal/faultinject)")
+
 		report  = flag.String("report", "", "write a JSON run manifest (stage timings, per-block and per-processor stats) to this file")
 		verbose = flag.Bool("v", false, "log pipeline and simulation progress to stderr")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		s, err := faultinject.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		faultinject.Enable(s)
+	} else if _, err := faultinject.FromEnv(os.Getenv("FSEXP_FAULTS")); err != nil {
+		fatal(fmt.Errorf("FSEXP_FAULTS: %w", err))
+	}
+
+	// First interrupt: cancel the run — the VM stops at its next
+	// scheduler poll and fssim exits 130. Second interrupt: exit
+	// immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "fssim: interrupt — stopping (interrupt again to exit immediately)")
+		cancel()
+		<-sigc
+		os.Exit(130)
+	}()
 
 	if *cpuprof != "" {
 		stop, err := obs.StartCPUProfile(*cpuprof)
@@ -155,11 +188,11 @@ func main() {
 	// (padding depends on the block); the unoptimized program is
 	// block-independent so one execution feeds all simulators.
 	if !*transformed {
-		prog, err := core.Compile(source, core.Options{Nprocs: *nprocs, BlockSize: blocks[0]})
+		prog, err := core.CompileCtx(ctx, source, core.Options{Nprocs: *nprocs, BlockSize: blocks[0]})
 		if err != nil {
 			fatal(err)
 		}
-		stats, err := runAndReport(prog, *nprocs, *jobs, blocks, *saveTrace, *verbose)
+		stats, err := runAndReport(ctx, prog, *nprocs, *jobs, *stepBudget, blocks, *saveTrace, *verbose)
 		if err != nil {
 			fatal(err)
 		}
@@ -167,7 +200,7 @@ func main() {
 	} else {
 		for _, blk := range blocks {
 			obs.Logf("restructuring for block %d", blk)
-			res, err := core.Restructure(source, core.Options{Nprocs: *nprocs, BlockSize: blk})
+			res, err := core.RestructureCtx(ctx, source, core.Options{Nprocs: *nprocs, BlockSize: blk})
 			if err != nil {
 				fatal(err)
 			}
@@ -182,7 +215,7 @@ func main() {
 					fmt.Printf("note: transformed traces differ per block; block %d -> %s\n", blk, traceFile)
 				}
 			}
-			stats, err := runAndReport(res.Transformed, *nprocs, *jobs, []int64{blk}, traceFile, *verbose)
+			stats, err := runAndReport(ctx, res.Transformed, *nprocs, *jobs, *stepBudget, []int64{blk}, traceFile, *verbose)
 			if err != nil {
 				fatal(err)
 			}
@@ -250,8 +283,10 @@ func fanout(j int, parent *obs.Span, blocks []int64, sinks ...trace.Sink) (trace
 // runAndReport executes a program once, feeding one cache simulator
 // per block size (and optionally a trace file), then prints the
 // per-block statistics. With -j > 1 the simulators (and the trace
-// writer) each consume the stream on their own goroutine.
-func runAndReport(prog *core.Program, nprocs, j int, blocks []int64, traceFile string, verbose bool) ([]experiments.BlockStats, error) {
+// writer) each consume the stream on their own goroutine. ctx cancels
+// the VM mid-run; budget caps per-process instructions (0: VM
+// default).
+func runAndReport(ctx context.Context, prog *core.Program, nprocs, j int, budget int64, blocks []int64, traceFile string, verbose bool) ([]experiments.BlockStats, error) {
 	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
 	if err != nil {
 		return nil, err
@@ -275,6 +310,10 @@ func runAndReport(prog *core.Program, nprocs, j int, blocks []int64, traceFile s
 	sp := obs.Begin("measure")
 	sink, finish := fanout(j, sp, blocks, sinks...)
 	m := vm.New(bc)
+	m.SetContext(ctx)
+	if budget > 0 {
+		m.MaxInstrs = budget
+	}
 	runErr := m.Run(sink)
 	if err := finish(); runErr == nil {
 		runErr = err
@@ -317,5 +356,8 @@ func writeReport(rec *obs.Recorder, path string, config map[string]any, perBlock
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "fssim: %v\n", err)
+	if errors.Is(err, context.Canceled) {
+		os.Exit(130)
+	}
 	os.Exit(1)
 }

@@ -12,9 +12,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"falseshare/internal/analysis/nonconc"
+	"falseshare/internal/faultinject"
 	"falseshare/internal/analysis/pdv"
 	"falseshare/internal/analysis/procs"
 	"falseshare/internal/analysis/sideeffect"
@@ -108,10 +110,20 @@ type Result struct {
 // it (used for unoptimized and hand-optimized versions). Directives
 // may be nil.
 func Compile(src string, opt Options) (*Program, error) {
+	return CompileCtx(context.Background(), src, opt)
+}
+
+// CompileCtx is Compile with cooperative cancellation: the context is
+// checked between pipeline stages, so a cancelled experiment run stops
+// at the next stage boundary rather than finishing the compile.
+func CompileCtx(ctx context.Context, src string, opt Options) (*Program, error) {
 	opt = opt.defaults()
 	sp := obs.Begin("compile")
 	defer sp.End()
 
+	if err := stageGate(ctx, "core.compile"); err != nil {
+		return nil, err
+	}
 	st := obs.Begin("parse")
 	file, err := parser.Parse(src)
 	st.End()
@@ -136,11 +148,20 @@ func Compile(src string, opt Options) (*Program, error) {
 // Restructure runs the full pipeline: it analyzes src, decides and
 // applies transformations, and returns both program versions.
 func Restructure(src string, opt Options) (*Result, error) {
+	return RestructureCtx(context.Background(), src, opt)
+}
+
+// RestructureCtx is Restructure with cooperative cancellation checked
+// between analysis stages.
+func RestructureCtx(ctx context.Context, src string, opt Options) (*Result, error) {
 	opt = opt.defaults()
 	sp := obs.Begin("restructure")
 	defer sp.End()
 
-	orig, err := Compile(src, opt)
+	if err := stageGate(ctx, "core.restructure"); err != nil {
+		return nil, err
+	}
+	orig, err := CompileCtx(ctx, src, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +202,9 @@ func Restructure(src string, opt Options) (*Result, error) {
 	st.Set("phases", int64(phases.N))
 	st.End()
 
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	st = obs.Begin("sideeffect")
 	summary := sideeffect.Analyze(info, prog, pdvs, procRes, phases, opt.analysisConfig())
 	st.Set("objects", int64(len(summary.Objects)))
@@ -199,6 +223,9 @@ func Restructure(src string, opt Options) (*Result, error) {
 	}
 	st.End()
 
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	st = obs.Begin("apply")
 	dirs, applied, err := transform.Apply(file, info, plan, opt.BlockSize, int64(opt.Nprocs))
 	if err != nil {
@@ -233,6 +260,22 @@ func Restructure(src string, opt Options) (*Result, error) {
 		Phases:      phases,
 		Procs:       procRes,
 	}, nil
+}
+
+// stageGate is the entry check of a pipeline stage: cancellation
+// first, then the stage's fault-injection point.
+func stageGate(ctx context.Context, point string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return faultinject.Fire(ctx, point, "")
+}
+
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // countPDVs counts the symbols whose value actually differentiates

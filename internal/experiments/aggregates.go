@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,16 +31,25 @@ type Aggregates struct {
 }
 
 // aggCell is one program version's miss split for the aggregates.
+// The fields are exported so a cell survives the JSON round trip
+// through the resume journal.
 type aggCell struct {
-	ver   Version
-	fs    int64
-	other int64
+	Prog  string  `json:"prog"`
+	Ver   Version `json:"ver"`
+	FS    int64   `json:"fs"`
+	Other int64   `json:"other"`
 }
 
 // ComputeAggregates derives the headline numbers from fresh runs at
 // the given block size. Each (program × version) run is one job,
 // fanned out across cfg.Workers; the sums are accumulated after the
 // fan-out.
+//
+// The aggregates compare each program's N and C runs, so when either
+// version of a program fails (and cfg.Policy keeps going) both its
+// cells are excluded from the sums — a one-sided contribution would
+// bias every headline number — and the *Partial error names the
+// failures.
 func ComputeAggregates(cfg Config, block int64) (*Aggregates, error) {
 	var jobs []pool.Job[aggCell]
 	for _, b := range workload.Unoptimizable() {
@@ -50,34 +60,45 @@ func ComputeAggregates(cfg Config, block int64) (*Aggregates, error) {
 		for _, ver := range []Version{VersionN, VersionC} {
 			jobs = append(jobs, pool.Job[aggCell]{
 				Key: fmt.Sprintf("aggregates/%s/%s", b.Name, ver),
-				Run: func() (aggCell, error) {
-					prog, err := Program(b, ver, procs, cfg.Scale, block, transform.Config{})
+				Run: func(ctx context.Context) (aggCell, error) {
+					prog, err := ProgramCtx(ctx, b, ver, procs, cfg.Scale, block, transform.Config{})
 					if err != nil {
 						return aggCell{}, err
 					}
-					stats, err := MeasureBlocks(prog, []int64{block})
+					stats, err := MeasureBlocksCtx(ctx, prog, []int64{block}, 1, cfg.StepBudget)
 					if err != nil {
 						return aggCell{}, err
 					}
 					st := stats[0]
-					return aggCell{ver: ver, fs: st.FalseShare, other: st.Misses() - st.FalseShare}, nil
+					return aggCell{Prog: b.Name, Ver: ver, FS: st.FalseShare, Other: st.Misses() - st.FalseShare}, nil
 				},
 			})
 		}
 	}
-	cells, err := pool.Run("aggregates", cfg.Workers, jobs)
-	if err != nil {
-		return nil, err
+	cells, err := runJobs(cfg, "aggregates", jobs)
+	failed := failedKeys(err)
+	excluded := map[string]bool{}
+	for _, j := range jobs {
+		if failed[j.Key] {
+			// Exclude the whole program, both versions.
+			excluded[progOfAggKey(j.Key)] = true
+		}
+	}
+	if err != nil && len(excluded) == len(workload.Unoptimizable()) {
+		return nil, partial(err, len(jobs))
 	}
 
 	var fsN, otherN, fsC, otherC int64
-	for _, c := range cells {
-		if c.ver == VersionN {
-			fsN += c.fs
-			otherN += c.other
+	for i, c := range cells {
+		if failed[jobs[i].Key] || excluded[c.Prog] {
+			continue
+		}
+		if c.Ver == VersionN {
+			fsN += c.FS
+			otherN += c.Other
 		} else {
-			fsC += c.fs
-			otherC += c.other
+			fsC += c.FS
+			otherC += c.Other
 		}
 	}
 	a := &Aggregates{Block: block}
@@ -93,7 +114,17 @@ func ComputeAggregates(cfg Config, block int64) (*Aggregates, error) {
 	if fsN+otherN > 0 {
 		a.TotalMissReduction = 1 - float64(fsC+otherC)/float64(fsN+otherN)
 	}
-	return a, nil
+	return a, partial(err, len(jobs))
+}
+
+// progOfAggKey extracts the program name from an "aggregates/<prog>/<ver>"
+// job key.
+func progOfAggKey(key string) string {
+	parts := strings.Split(key, "/")
+	if len(parts) >= 2 {
+		return parts[1]
+	}
+	return key
 }
 
 // Render formats the aggregates against the paper's claims.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,20 +38,26 @@ func (r CompileCostRow) Overhead() float64 {
 }
 
 // CompileCost measures front-end vs full-restructurer time over the
-// suite, repeating each measurement and keeping the minimum (the
-// usual noise-robust choice for microtimings). One job per benchmark,
-// fanned out across workers (<= 0: GOMAXPROCS); the minimum-of-reps
+// suite with ecfg's scale, workers, policy and journal, repeating
+// each measurement and keeping the minimum (the usual noise-robust
+// choice for microtimings). One job per benchmark; the minimum-of-reps
 // absorbs most of the scheduling noise concurrent timing adds, but
-// the steadiest numbers come from workers == 1.
-func CompileCost(scale, nprocs, reps, workers int) ([]CompileCostRow, error) {
+// the steadiest numbers come from ecfg.Workers == 1.
+//
+// When some benchmarks fail (and ecfg.Policy keeps going), the
+// surviving rows are returned with a *Partial error naming the rest.
+// Note that journaled timings are replayed verbatim on resume — cheap
+// and deterministic, but not fresh measurements.
+func CompileCost(ecfg Config, nprocs, reps int) ([]CompileCostRow, error) {
 	if reps < 1 {
 		reps = 3
 	}
+	scale := ecfg.Scale
 	var jobs []pool.Job[CompileCostRow]
 	for _, b := range workload.All() {
 		jobs = append(jobs, pool.Job[CompileCostRow]{
 			Key: "compilecost/" + b.Name,
-			Run: func() (CompileCostRow, error) {
+			Run: func(ctx context.Context) (CompileCostRow, error) {
 				src := b.Source(scale)
 				row := CompileCostRow{Program: b.Name}
 
@@ -73,7 +80,7 @@ func CompileCost(scale, nprocs, reps, workers int) ([]CompileCostRow, error) {
 				row.Baseline = base
 
 				full, err := minTime(reps, func() error {
-					_, err := core.Restructure(src, core.Options{Nprocs: nprocs, BlockSize: 128})
+					_, err := core.RestructureCtx(ctx, src, core.Options{Nprocs: nprocs, BlockSize: 128})
 					return err
 				})
 				if err != nil {
@@ -84,7 +91,18 @@ func CompileCost(scale, nprocs, reps, workers int) ([]CompileCostRow, error) {
 			},
 		})
 	}
-	return pool.Run("compilecost", workers, jobs)
+	rows, err := runJobs(ecfg, "compilecost", jobs)
+	if err == nil {
+		return rows, nil
+	}
+	failed := failedKeys(err)
+	var ok []CompileCostRow
+	for i, j := range jobs {
+		if !failed[j.Key] {
+			ok = append(ok, rows[i])
+		}
+	}
+	return ok, partial(err, len(jobs))
 }
 
 func minTime(reps int, f func() error) (time.Duration, error) {

@@ -6,7 +6,7 @@ import (
 )
 
 func TestCompileCost(t *testing.T) {
-	rows, err := CompileCost(1, 12, 1, 0)
+	rows, err := CompileCost(Config{Scale: 1}, 12, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

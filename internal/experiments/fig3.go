@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,6 +37,10 @@ func (c Fig3Cell) TotalRate() float64 { return c.FSRate + c.OtherRate }
 // The (program × version × block) cells are independent
 // compile→run→simulate jobs; they are enumerated up front and fanned
 // out across cfg.Workers, with the cell order fixed by enumeration.
+//
+// When some cells fail (and cfg.Policy keeps going), the surviving
+// cells are returned alongside a *Partial error naming the failed
+// ones, so callers can render the bars they have.
 func Figure3(cfg Config) ([]Fig3Cell, error) {
 	var jobs []pool.Job[Fig3Cell]
 	for _, b := range workload.Unoptimizable() {
@@ -49,12 +54,12 @@ func Figure3(cfg Config) ([]Fig3Cell, error) {
 			for _, blk := range cfg.Fig3Blocks {
 				jobs = append(jobs, pool.Job[Fig3Cell]{
 					Key: fmt.Sprintf("fig3/%s/%s/b%d", b.Name, ver, blk),
-					Run: func() (Fig3Cell, error) {
-						prog, err := Program(b, ver, procs, cfg.Scale, blk, transform.Config{})
+					Run: func(ctx context.Context) (Fig3Cell, error) {
+						prog, err := ProgramCtx(ctx, b, ver, procs, cfg.Scale, blk, transform.Config{})
 						if err != nil {
 							return Fig3Cell{}, fmt.Errorf("fig3 %s/%s: %w", b.Name, ver, err)
 						}
-						stats, err := MeasureBlocks(prog, []int64{blk})
+						stats, err := MeasureBlocksCtx(ctx, prog, []int64{blk}, 1, cfg.StepBudget)
 						if err != nil {
 							return Fig3Cell{}, fmt.Errorf("fig3 %s/%s run: %w", b.Name, ver, err)
 						}
@@ -75,7 +80,19 @@ func Figure3(cfg Config) ([]Fig3Cell, error) {
 			}
 		}
 	}
-	return pool.Run("fig3", cfg.Workers, jobs)
+	cells, err := runJobs(cfg, "fig3", jobs)
+	if err == nil {
+		return cells, nil
+	}
+	// Partial assembly: keep the cells whose jobs succeeded.
+	failed := failedKeys(err)
+	var ok []Fig3Cell
+	for i, j := range jobs {
+		if !failed[j.Key] {
+			ok = append(ok, cells[i])
+		}
+	}
+	return ok, partial(err, len(jobs))
 }
 
 // RenderFigure3 formats the cells like the paper's bar chart, as an

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -28,15 +29,18 @@ type Curve struct {
 // curves. Splitting enumeration from assembly lets Figure4 and Table3
 // fan the sweeps of *all* their benchmarks into one pool.
 func sweepJobs(b *workload.Benchmark, cfg Config, machine ksr.Config) ([]pool.Job[*ksr.Result], func([]*ksr.Result) []Curve) {
+	if machine.StepBudget == 0 {
+		machine.StepBudget = cfg.StepBudget
+	}
 	execute := func(ver Version, p int) pool.Job[*ksr.Result] {
 		return pool.Job[*ksr.Result]{
 			Key: fmt.Sprintf("fig4/%s/%s/p%d", b.Name, ver, p),
-			Run: func() (*ksr.Result, error) {
-				prog, err := Program(b, ver, p, cfg.Scale, machine.BlockSize, transform.Config{})
+			Run: func(ctx context.Context) (*ksr.Result, error) {
+				prog, err := ProgramCtx(ctx, b, ver, p, cfg.Scale, machine.BlockSize, transform.Config{})
 				if err != nil {
 					return nil, fmt.Errorf("fig4 %s/%s: %w", b.Name, ver, err)
 				}
-				r, err := ksr.Execute(prog, machine)
+				r, err := ksr.ExecuteCtx(ctx, prog, machine)
 				if err != nil {
 					return nil, fmt.Errorf("fig4 %s/%s at %d procs: %w", b.Name, ver, p, err)
 				}
@@ -81,15 +85,22 @@ func sweepJobs(b *workload.Benchmark, cfg Config, machine ksr.Config) ([]pool.Jo
 // fan out across cfg.Workers.
 func SpeedupCurves(b *workload.Benchmark, cfg Config, machine ksr.Config) ([]Curve, error) {
 	jobs, assemble := sweepJobs(b, cfg, machine)
-	results, err := pool.Run("fig4:"+b.Name, cfg.Workers, jobs)
+	results, err := runJobs(cfg, "fig4:"+b.Name, jobs)
 	if err != nil {
-		return nil, err
+		// A speedup curve is meaningless with holes (every point is
+		// relative to the baseline run), so a single benchmark's sweep
+		// is all or nothing.
+		return nil, partial(err, len(jobs))
 	}
 	return assemble(results), nil
 }
 
 // benchCurves fans the sweeps of several benchmarks into one pool and
-// assembles per-benchmark curves, preserving the given order.
+// assembles per-benchmark curves, preserving the given order. A
+// benchmark that lost any sweep job to a failure gets nil curves —
+// curves are relative measurements, so one hole invalidates the whole
+// benchmark — while unaffected benchmarks assemble normally. The
+// failed keys come back in the *Partial error.
 func benchCurves(name string, benches []*workload.Benchmark, cfg Config, machine ksr.Config) ([][]Curve, error) {
 	var jobs []pool.Job[*ksr.Result]
 	type slice struct {
@@ -102,15 +113,21 @@ func benchCurves(name string, benches []*workload.Benchmark, cfg Config, machine
 		slices[i] = slice{lo: len(jobs), hi: len(jobs) + len(js), assemble: assemble}
 		jobs = append(jobs, js...)
 	}
-	results, err := pool.Run(name, cfg.Workers, jobs)
-	if err != nil {
-		return nil, err
-	}
+	results, err := runJobs(cfg, name, jobs)
 	out := make([][]Curve, len(benches))
 	for i, s := range slices {
-		out[i] = s.assemble(results[s.lo:s.hi])
+		complete := true
+		for _, r := range results[s.lo:s.hi] {
+			if r == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			out[i] = s.assemble(results[s.lo:s.hi])
+		}
 	}
-	return out, nil
+	return out, partial(err, len(jobs))
 }
 
 // Figure4 regenerates the paper's Figure 4: speedup curves for the
@@ -128,14 +145,19 @@ func Figure4(cfg Config, machine ksr.Config) (map[string][]Curve, error) {
 		benches[i] = b
 	}
 	curves, err := benchCurves("fig4", benches, cfg, machine)
-	if err != nil {
+	if err != nil && curves == nil {
 		return nil, err
 	}
 	out := map[string][]Curve{}
 	for i, name := range names {
-		out[name] = curves[i]
+		if curves[i] != nil {
+			out[name] = curves[i]
+		}
 	}
-	return out, nil
+	if err != nil && len(out) == 0 {
+		return nil, err
+	}
+	return out, err
 }
 
 // RenderCurves formats speedup curves as aligned columns (one row per

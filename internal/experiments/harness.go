@@ -9,9 +9,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"falseshare/internal/core"
+	"falseshare/internal/experiments/journal"
 	"falseshare/internal/experiments/pool"
 	"falseshare/internal/obs"
 	"falseshare/internal/sim/cache"
@@ -54,6 +56,22 @@ type Config struct {
 	Table2Blocks []int64
 	// SweepCounts are the processor counts for Figure 4 / Table 3.
 	SweepCounts []int
+
+	// Ctx, when non-nil, cancels the whole run: jobs in flight observe
+	// the cancellation through their context, unstarted jobs are
+	// skipped. The CLIs route Ctrl-C through here.
+	Ctx context.Context
+	// Policy governs the experiment pool's failure handling: fail-fast
+	// vs keep-going, per-job deadlines, retries. The zero value runs
+	// every job with no deadline (the historical behavior).
+	Policy pool.Policy
+	// Journal, when non-nil, checkpoints every completed cell and
+	// resumes from checkpoints already present (fsexp -resume).
+	Journal *journal.Journal
+	// StepBudget caps per-process VM instructions per execution
+	// (0: the VM default of 1e9), so runaway programs fail instead of
+	// hanging a job forever.
+	StepBudget int64
 }
 
 // DefaultConfig returns the paper's experimental setup.
@@ -72,27 +90,41 @@ func DefaultConfig() Config {
 // the given processor count and block size. The C version is produced
 // by the restructurer; heur tweaks its heuristics (ablations).
 func Program(b *workload.Benchmark, ver Version, nprocs int, scale int, block int64, heur transform.Config) (*core.Program, error) {
+	return ProgramCtx(context.Background(), b, ver, nprocs, scale, block, heur)
+}
+
+// ProgramCtx is Program with cooperative cancellation through the
+// compiler pipeline.
+func ProgramCtx(ctx context.Context, b *workload.Benchmark, ver Version, nprocs int, scale int, block int64, heur transform.Config) (*core.Program, error) {
 	opt := core.Options{Nprocs: nprocs, BlockSize: block, Heuristics: heur}
 	switch ver {
 	case VersionN:
 		if !b.HasN {
 			return nil, fmt.Errorf("%s has no unoptimized version", b.Name)
 		}
-		return core.Compile(b.Source(scale), opt)
+		return core.CompileCtx(ctx, b.Source(scale), opt)
 	case VersionP:
 		src := b.ProgrammerSource(scale)
 		if src == "" {
 			return nil, fmt.Errorf("%s has no programmer version", b.Name)
 		}
-		return core.Compile(src, opt)
+		return core.CompileCtx(ctx, src, opt)
 	case VersionC:
-		res, err := core.Restructure(b.Source(scale), opt)
+		res, err := core.RestructureCtx(ctx, b.Source(scale), opt)
 		if err != nil {
 			return nil, err
 		}
 		return res.Transformed, nil
 	}
 	return nil, fmt.Errorf("unknown version %q", ver)
+}
+
+// runJobs routes every experiment's fan-out through the configured
+// context, failure policy and journal: jobs already checkpointed in
+// cfg.Journal return their stored results without running, fresh
+// completions are checkpointed as they finish.
+func runJobs[T any](cfg Config, name string, jobs []pool.Job[T]) ([]T, error) {
+	return pool.RunPolicy(cfg.Ctx, name, cfg.Workers, cfg.Policy, journal.WrapAll(cfg.Journal, jobs))
 }
 
 // Baseline returns the version speedups are measured against: N when
@@ -128,14 +160,21 @@ func MeasureBlocks(prog *core.Program, blocks []int64) ([]*cache.Stats, error) {
 }
 
 // MeasureBlocksN is MeasureBlocks with an explicit worker bound
-// (<= 0: runtime.GOMAXPROCS). With workers == 1 — or a single block
-// size, or a single available CPU — the VM feeds every simulator
-// inline from its own goroutine, the pre-sharding serial path.
-// Otherwise the VM publishes references in fixed-size batches to one
-// goroutine per block-size simulator: every simulator still consumes
-// the identical full trace in order, so the stats match the serial
-// path exactly.
+// (<= 0: runtime.GOMAXPROCS); see MeasureBlocksCtx.
 func MeasureBlocksN(prog *core.Program, blocks []int64, workers int) ([]*cache.Stats, error) {
+	return MeasureBlocksCtx(context.Background(), prog, blocks, workers, 0)
+}
+
+// MeasureBlocksCtx is the full-control measurement entry point: ctx
+// cancels the VM mid-execution, budget caps per-process instructions
+// (0: the VM default), workers bounds the simulator shards (<= 0:
+// runtime.GOMAXPROCS). With workers == 1 — or a single block size, or
+// a single available CPU — the VM feeds every simulator inline from
+// its own goroutine, the pre-sharding serial path. Otherwise the VM
+// publishes references in fixed-size batches to one goroutine per
+// block-size simulator: every simulator still consumes the identical
+// full trace in order, so the stats match the serial path exactly.
+func MeasureBlocksCtx(ctx context.Context, prog *core.Program, blocks []int64, workers int, budget int64) ([]*cache.Stats, error) {
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("experiments: MeasureBlocks: no block sizes given")
 	}
@@ -152,6 +191,10 @@ func MeasureBlocksN(prog *core.Program, blocks []int64, workers int) ([]*cache.S
 		sims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
 	}
 	m := vm.New(bc)
+	m.SetContext(ctx)
+	if budget > 0 {
+		m.MaxInstrs = budget
+	}
 
 	if pool.Workers(workers) == 1 || len(blocks) == 1 {
 		if err := m.Run(func(r vm.Ref) {
@@ -168,6 +211,11 @@ func MeasureBlocksN(prog *core.Program, blocks []int64, workers int) ([]*cache.S
 			sinks[i] = func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) }
 		}
 		pt := trace.NewParTee(0, sinks...)
+		// The deferred Close (idempotent) guarantees the simulator
+		// goroutines are shut down even when m.Run panics — without it
+		// a panic between NewParTee and Close would leak one goroutine
+		// per block size, parked on its channel forever.
+		defer pt.Close()
 		// One worker span per simulator, attached under measure in
 		// block order before the stream starts.
 		for i, blk := range blocks {

@@ -1,0 +1,230 @@
+// Package journal checkpoints experiment results so an interrupted
+// run can resume without re-simulating finished cells.
+//
+// The format is append-only JSONL: one line per completed job, keyed
+// by the job's deterministic pool key ("fig3/maxflow/N/b128"). Each
+// entry stores both the job's result (as JSON) and the observability
+// span subtree it recorded, so a resumed run reconstructs the same
+// manifest — byte-identical modulo wall-clock fields — as an
+// uninterrupted one. Appends are flushed per entry; a run killed
+// mid-write leaves at most one torn final line, which Open tolerates
+// and discards. Duplicate keys are legal (a cell re-run on purpose):
+// the last entry wins.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"falseshare/internal/experiments/pool"
+	"falseshare/internal/obs"
+)
+
+// FileName is the journal file inside a run directory.
+const FileName = "journal.jsonl"
+
+// entry is one JSONL line.
+type entry struct {
+	Key   string          `json:"key"`
+	Data  json.RawMessage `json:"data"`
+	Spans []*obs.Span     `json:"spans,omitempty"`
+}
+
+// Journal is an append-only result checkpoint. All methods are safe
+// for concurrent use (pool workers append from many goroutines).
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	entries map[string]*entry
+	path    string
+	torn    int
+}
+
+// Open opens (creating as needed) the journal in dir and loads every
+// complete entry already present. Unparsable lines — a torn tail from
+// a killed run, or stray corruption — are counted and skipped, never
+// fatal: losing one checkpoint costs one re-run, while refusing to
+// open would cost the whole resume.
+func Open(dir string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	j := &Journal{entries: map[string]*entry{}, path: path}
+	if b, err := os.ReadFile(path); err == nil {
+		for _, line := range bytes.Split(b, []byte("\n")) {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var e entry
+			if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+				j.torn++
+				continue
+			}
+			j.entries[e.Key] = &e
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// Path returns the journal file path (for resume hints).
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Len reports the number of distinct checkpointed keys.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Torn reports how many unparsable lines Open skipped.
+func (j *Journal) Torn() int {
+	if j == nil {
+		return 0
+	}
+	return j.torn
+}
+
+// Lookup returns the checkpointed result JSON and span subtree for
+// key, if present.
+func (j *Journal) Lookup(key string) (json.RawMessage, []*obs.Span, bool) {
+	if j == nil {
+		return nil, nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.entries[key]
+	if !ok {
+		return nil, nil, false
+	}
+	return e.Data, e.Spans, true
+}
+
+// Append checkpoints one completed job: the line is written and
+// flushed to the OS before Append returns, so a crash immediately
+// after loses nothing.
+func (j *Journal) Append(key string, data any, spans []*obs.Span) error {
+	if j == nil {
+		return nil
+	}
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("journal: marshal %s: %w", key, err)
+	}
+	e := &entry{Key: key, Data: raw, Spans: spans}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("journal: marshal %s: %w", key, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: append %s: %w", key, err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: append %s: %w", key, err)
+	}
+	j.entries[key] = e
+	return nil
+}
+
+// Close flushes and closes the journal file. Lookup keeps working on
+// a closed journal; Append does not.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	ferr := j.w.Flush()
+	cerr := j.f.Close()
+	j.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}
+
+// Wrap gives a pool job checkpoint/resume behavior. On a journal hit
+// the stored result is returned without running the job, and the
+// stored span subtree is adopted into the job's recorder so the
+// manifest keeps the original run's tree. On a miss the job runs,
+// and a successful result is checkpointed together with the spans it
+// recorded. A nil journal wraps to the job unchanged.
+//
+// T must round-trip through encoding/json: the resumed value is the
+// unmarshalled checkpoint, not the original in-memory one.
+func Wrap[T any](j *Journal, job pool.Job[T]) pool.Job[T] {
+	if j == nil {
+		return job
+	}
+	run := job.Run
+	key := job.Key
+	job.Run = func(ctx context.Context) (T, error) {
+		if raw, spans, ok := j.Lookup(key); ok {
+			var v T
+			if err := json.Unmarshal(raw, &v); err != nil {
+				// A checkpoint that no longer matches the result type
+				// (schema drift between runs) is treated as a miss.
+				obs.Logf("journal: stale checkpoint for %s (%v); re-running", key, err)
+			} else {
+				// Graft the original run's span subtree so the resumed
+				// manifest is identical to the uninterrupted one. No
+				// extra "cache hit" span — that would make the trees
+				// diverge, which resume promises not to do.
+				obs.Current().Adopt(spans)
+				obs.Logf("journal: resume hit for %s", key)
+				return v, nil
+			}
+		}
+		v, err := run(ctx)
+		if err != nil {
+			return v, err
+		}
+		if aerr := j.Append(key, v, obs.Current().Spans()); aerr != nil {
+			// The result is valid even if checkpointing it failed; a
+			// lost checkpoint only costs a re-run on resume.
+			obs.Logf("journal: %v", aerr)
+		}
+		return v, err
+	}
+	return job
+}
+
+// WrapAll applies Wrap to every job.
+func WrapAll[T any](j *Journal, jobs []pool.Job[T]) []pool.Job[T] {
+	if j == nil {
+		return jobs
+	}
+	out := make([]pool.Job[T], len(jobs))
+	for i, job := range jobs {
+		out[i] = Wrap(j, job)
+	}
+	return out
+}

@@ -1,0 +1,336 @@
+package journal
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"falseshare/internal/experiments/pool"
+	"falseshare/internal/obs"
+)
+
+type cell struct {
+	Prog  string `json:"prog"`
+	Miss  int64  `json:"miss"`
+	Ratio float64
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cell{Prog: "maxflow", Miss: 12345, Ratio: 1.5}
+	if err := j.Append("fig3/maxflow/N/b128", want, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", j2.Len())
+	}
+	raw, _, ok := j2.Lookup("fig3/maxflow/N/b128")
+	if !ok {
+		t.Fatal("entry missing after reopen")
+	}
+	var got cell
+	if err := jsonUnmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestJournalLastEntryWins(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append("k", cell{Miss: int64(i)}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	raw, _, ok := j2.Lookup("k")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	var got cell
+	if err := jsonUnmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Miss != 2 {
+		t.Errorf("last entry should win: got miss=%d, want 2", got.Miss)
+	}
+	if j2.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (dedup)", j2.Len())
+	}
+}
+
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append("good", cell{Miss: 7}, nil); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a run killed mid-append: a partial final line.
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"torn","data":{"mi`)
+	f.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail must not prevent open: %v", err)
+	}
+	defer j2.Close()
+	if j2.Torn() != 1 {
+		t.Errorf("Torn = %d, want 1", j2.Torn())
+	}
+	if _, _, ok := j2.Lookup("good"); !ok {
+		t.Error("intact entry lost")
+	}
+	if _, _, ok := j2.Lookup("torn"); ok {
+		t.Error("torn entry surfaced")
+	}
+	// The journal stays appendable after a torn tail: the next entry
+	// starts on its own line only if the torn line is terminated — it
+	// is not, so the appended line merges with the torn prefix. That
+	// costs exactly one more skipped line on the following open, never
+	// a lost complete entry.
+	if err := j2.Append("after", cell{Miss: 9}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := j.Append(fmt.Sprintf("k%02d", i), cell{Miss: int64(i)}, nil); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != n {
+		t.Fatalf("Len = %d, want %d", j2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		raw, _, ok := j2.Lookup(fmt.Sprintf("k%02d", i))
+		if !ok {
+			t.Fatalf("k%02d missing", i)
+		}
+		var got cell
+		if err := jsonUnmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Miss != int64(i) {
+			t.Errorf("k%02d: miss = %d", i, got.Miss)
+		}
+	}
+}
+
+func TestJournalSpanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := []*obs.Span{{
+		Name:     "measure",
+		Wall:     3 * time.Millisecond,
+		Counters: map[string]int64{"instrs": 42},
+		Children: []*obs.Span{{Name: "vm", Counters: map[string]int64{"refs": 7}}},
+	}}
+	if err := j.Append("k", cell{}, spans); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	_, got, ok := j2.Lookup("k")
+	if !ok {
+		t.Fatal("entry missing")
+	}
+	if len(got) != 1 || got[0].Name != "measure" || got[0].Counters["instrs"] != 42 {
+		t.Fatalf("span lost in round trip: %+v", got)
+	}
+	if len(got[0].Children) != 1 || got[0].Children[0].Counters["refs"] != 7 {
+		t.Fatalf("child span lost: %+v", got[0].Children)
+	}
+	if got[0].Wall != 3*time.Millisecond {
+		t.Errorf("wall = %v, want 3ms", got[0].Wall)
+	}
+}
+
+// TestWrapCheckpointsAndResumes: a wrapped job runs once, and a
+// second pool run over the same journal returns the checkpointed
+// result without re-running — with the original span subtree grafted
+// into the new run's manifest.
+func TestWrapCheckpointsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	var runs int
+	mk := func(j *Journal) []pool.Job[cell] {
+		return WrapAll(j, []pool.Job[cell]{{
+			Key: "fig3/maxflow/N/b128",
+			Run: func(ctx context.Context) (cell, error) {
+				runs++
+				sp := obs.Begin("measure")
+				sp.Set("instrs", 42)
+				sp.End()
+				return cell{Prog: "maxflow", Miss: 11}, nil
+			},
+		}})
+	}
+
+	runPool := func(j *Journal) (cell, []*obs.Span) {
+		rec := obs.NewRecorder()
+		prev := obs.BindGoroutine(rec)
+		defer obs.BindGoroutine(prev)
+		res, err := pool.Run("t", 1, mk(j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0], rec.Spans()
+	}
+
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, firstSpans := runPool(j)
+	j.Close()
+	if runs != 1 {
+		t.Fatalf("runs = %d, want 1", runs)
+	}
+
+	j2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	second, secondSpans := runPool(j2)
+	if runs != 1 {
+		t.Fatalf("resume re-ran the job (runs = %d)", runs)
+	}
+	if first != second {
+		t.Errorf("resumed result differs: %+v vs %+v", first, second)
+	}
+	scrub(firstSpans)
+	scrub(secondSpans)
+	if !reflect.DeepEqual(firstSpans, secondSpans) {
+		t.Errorf("span trees differ:\nfirst:  %+v\nsecond: %+v", firstSpans, secondSpans)
+	}
+}
+
+// TestWrapStaleCheckpoint: a checkpoint that fails to unmarshal into
+// the job's result type is treated as a miss, not an error.
+func TestWrapStaleCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Append("k", "a plain string, not a cell", nil); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	job := Wrap(j, pool.Job[cell]{Key: "k", Run: func(ctx context.Context) (cell, error) {
+		ran = true
+		return cell{Miss: 5}, nil
+	}})
+	got, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("stale checkpoint should fall through to the job")
+	}
+	if got.Miss != 5 {
+		t.Errorf("miss = %d, want 5", got.Miss)
+	}
+}
+
+// TestWrapDoesNotCheckpointFailures: a failed job leaves no journal
+// entry, so a resumed run retries it.
+func TestWrapDoesNotCheckpointFailures(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	job := Wrap(j, pool.Job[cell]{Key: "k", Run: func(ctx context.Context) (cell, error) {
+		return cell{}, fmt.Errorf("boom")
+	}})
+	if _, err := job.Run(context.Background()); err == nil {
+		t.Fatal("want error")
+	}
+	if j.Len() != 0 {
+		t.Errorf("failure was checkpointed (Len = %d)", j.Len())
+	}
+}
+
+// scrub zeroes timing fields so tree comparisons see only structure
+// and deterministic counters.
+func scrub(spans []*obs.Span) {
+	for _, s := range spans {
+		s.Wall = 0
+		s.Started = time.Time{}
+		scrub(s.Children)
+	}
+}
+
+func jsonUnmarshal(raw []byte, v any) error { return json.Unmarshal(raw, v) }

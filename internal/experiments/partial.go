@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"falseshare/internal/experiments/pool"
+)
+
+// Partial reports an experiment that produced renderable output
+// despite failed cells: the driver assembled everything the surviving
+// cells support and this error lists exactly what is missing. Callers
+// running keep-going render the partial result and print the failure
+// section; fail-fast callers treat it like any other error.
+type Partial struct {
+	// Failed lists the failed cell keys in submission order.
+	Failed []string
+	// Total is the total number of cells the experiment enumerated.
+	Total int
+	// Err is the underlying pool error (unwraps to every keyed job
+	// error).
+	Err error
+}
+
+func (p *Partial) Error() string {
+	return fmt.Sprintf("%d of %d cells failed: %s", len(p.Failed), p.Total, strings.Join(p.Failed, ", "))
+}
+
+// Unwrap exposes the pool error so errors.Is/As reach the per-job
+// failures (context.Canceled, faultinject.Error, ...).
+func (p *Partial) Unwrap() error { return p.Err }
+
+// Details renders one line per failure for the CLI's error section.
+func (p *Partial) Details() string {
+	var sb strings.Builder
+	for _, f := range pool.Failures(p.Err) {
+		fmt.Fprintf(&sb, "  %s\n", f.Error())
+	}
+	return sb.String()
+}
+
+// AsPartial extracts a *Partial from an experiment error.
+func AsPartial(err error) (*Partial, bool) {
+	var p *Partial
+	ok := errors.As(err, &p)
+	return p, ok
+}
+
+// partial wraps a pool error (possibly nil) into the experiment-level
+// error contract: nil stays nil, anything else becomes a *Partial
+// listing the failed keys against the cell total.
+func partial(err error, total int) error {
+	if err == nil {
+		return nil
+	}
+	failures := pool.Failures(err)
+	keys := make([]string, len(failures))
+	for i, f := range failures {
+		keys[i] = f.Key
+	}
+	return &Partial{Failed: keys, Total: total, Err: err}
+}
+
+// failedKeys builds the failed-key set of a pool run, for drivers
+// that must know which result slots are valid.
+func failedKeys(err error) map[string]bool {
+	failures := pool.Failures(err)
+	if len(failures) == 0 {
+		return nil
+	}
+	set := make(map[string]bool, len(failures))
+	for _, f := range failures {
+		set[f.Key] = true
+	}
+	return set
+}

@@ -8,6 +8,13 @@
 //     completion order, so every figure renders identically at any -j;
 //   - a panicking job is recovered and surfaced as that job's error
 //     (with its stack), never a crashed process;
+//   - every job failure is kept, keyed, in submission order — the
+//     returned error unwraps to all of them, so callers can render the
+//     cells that succeeded and report exactly the ones that did not;
+//   - cancellation (a signal, a fail-fast policy) drains promptly:
+//     running jobs see their context cancelled, unstarted jobs are
+//     skipped and marked, and the pool always returns a complete
+//     per-job accounting;
 //   - each job records observability spans into its own private
 //     recorder, grafted under a per-job span in submission order, so a
 //     parallel run's manifest has the same deterministic span tree as
@@ -15,20 +22,26 @@
 package pool
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
+	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
 )
 
 // Job is one unit of work. Key names the job in errors and span trees
-// ("fig3/maxflow/N/b128"); Run produces its result.
+// ("fig3/maxflow/N/b128"); Run produces its result. Run must honor
+// ctx: the pool cancels it on fail-fast, per-job deadline, or an
+// external cancellation (Ctrl-C), and relies on the job to return.
 type Job[T any] struct {
 	Key string
-	Run func() (T, error)
+	Run func(ctx context.Context) (T, error)
 }
 
 // Error wraps a job failure with the job's key.
@@ -42,6 +55,122 @@ func (e *Error) Error() string { return fmt.Sprintf("%s: %v", e.Key, e.Err) }
 // Unwrap exposes the underlying job error.
 func (e *Error) Unwrap() error { return e.Err }
 
+// ErrSkipped marks jobs that never started because the run was
+// cancelled first (fail-fast after another job's failure, or an
+// external cancellation). errors.Is(err, context.Canceled) also holds
+// for skipped jobs, so cancellation tests stay uniform.
+var ErrSkipped = errors.New("skipped: run cancelled")
+
+// MultiError aggregates every job failure of one pool run, keyed and
+// in submission order. It unwraps to all of them (errors.Is/As search
+// the whole set), so a single failed cell is still found by
+// errors.As(err, &poolErr) exactly as before.
+type MultiError struct {
+	// Errors holds one entry per failed job, in submission order.
+	Errors []*Error
+	// Jobs is the total number of jobs submitted.
+	Jobs int
+}
+
+func (m *MultiError) Error() string {
+	const show = 5
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d of %d jobs failed", len(m.Errors), m.Jobs)
+	for i, e := range m.Errors {
+		if i == show {
+			fmt.Fprintf(&sb, "; ... and %d more", len(m.Errors)-show)
+			break
+		}
+		sb.WriteString("; ")
+		sb.WriteString(e.Error())
+	}
+	return sb.String()
+}
+
+// Unwrap exposes every keyed job error.
+func (m *MultiError) Unwrap() []error {
+	out := make([]error, len(m.Errors))
+	for i, e := range m.Errors {
+		out[i] = e
+	}
+	return out
+}
+
+// Keys lists the failed job keys in submission order.
+func (m *MultiError) Keys() []string {
+	out := make([]string, len(m.Errors))
+	for i, e := range m.Errors {
+		out[i] = e.Key
+	}
+	return out
+}
+
+// Failures extracts the per-job failures from a pool error: the
+// MultiError's entries, a bare *Error, or nil for a nil error. Any
+// other error (not produced by the pool) comes back as a single
+// unkeyed entry so callers never lose it.
+func Failures(err error) []*Error {
+	if err == nil {
+		return nil
+	}
+	var merr *MultiError
+	if errors.As(err, &merr) {
+		return merr.Errors
+	}
+	var one *Error
+	if errors.As(err, &one) {
+		return []*Error{one}
+	}
+	return []*Error{{Key: "", Err: err}}
+}
+
+// Policy configures how a pool run treats failure and time.
+//
+// The zero value reproduces the historical behavior: every job runs
+// regardless of other jobs' failures, with no deadlines and no
+// retries.
+type Policy struct {
+	// FailFast cancels the remaining jobs after the first failure:
+	// running jobs see their context cancelled, unstarted jobs are
+	// skipped (ErrSkipped). Without it the pool keeps going and runs
+	// everything.
+	FailFast bool
+	// JobTimeout bounds each job attempt with a context deadline
+	// (0: none). Enforcement is cooperative — the job must honor its
+	// context, as the VM and the restructurer do.
+	JobTimeout time.Duration
+	// Retries re-runs a failed job attempt up to this many extra
+	// times, but only when the error is transient (see IsTransient).
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per
+	// attempt (default 100ms when Retries > 0).
+	Backoff time.Duration
+	// IsTransient classifies errors worth retrying. nil uses the
+	// default: any error in the chain implementing
+	// `Transient() bool` and reporting true (injected faults marked
+	// :transient do).
+	IsTransient func(error) bool
+}
+
+func (p Policy) transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if p.IsTransient != nil {
+		return p.IsTransient(err)
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+func (p Policy) backoff(attempt int) time.Duration {
+	d := p.Backoff
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	return d << attempt
+}
+
 // Workers normalizes a -j style worker count: values <= 0 mean
 // runtime.GOMAXPROCS(0).
 func Workers(n int) int {
@@ -51,13 +180,31 @@ func Workers(n int) int {
 	return n
 }
 
-// Run executes the jobs with at most workers concurrent (workers <= 0:
-// GOMAXPROCS) and returns their results indexed like jobs. All jobs
-// run even if some fail; the returned error is the first failure in
-// submission order (deterministic at any worker count). With one
-// worker, jobs run serially in the calling goroutine — no goroutines
-// are spawned — preserving the pre-pool execution order exactly.
+// Run executes the jobs with the zero Policy and no external
+// cancellation; see RunPolicy.
 func Run[T any](name string, workers int, jobs []Job[T]) ([]T, error) {
+	return RunPolicy(context.Background(), name, workers, Policy{}, jobs)
+}
+
+// RunPolicy executes the jobs with at most workers concurrent
+// (workers <= 0: GOMAXPROCS) and returns their results indexed like
+// jobs. With one worker, jobs run serially in the calling goroutine —
+// no goroutines are spawned — preserving the pre-pool execution order
+// exactly.
+//
+// Failure handling follows pol. Whatever the policy, the returned
+// error is nil only when every job succeeded; otherwise it is a
+// *MultiError carrying every failed job's keyed error in submission
+// order — deterministic at any worker count. Results of successful
+// jobs are always valid, so callers may render partial output.
+//
+// Cancelling ctx stops the run promptly: running jobs observe the
+// cancellation through their context, unstarted jobs are skipped and
+// reported with ErrSkipped.
+func RunPolicy[T any](ctx context.Context, name string, workers int, pol Policy, jobs []Job[T]) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers = Workers(workers)
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -77,10 +224,24 @@ func Run[T any](name string, workers int, jobs []Job[T]) ([]T, error) {
 	}
 	base := obs.Current()
 
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 	runJob := func(i int) {
-		results[i], errs[i] = runOne(base, spans[i], jobs[i])
+		if cerr := runCtx.Err(); cerr != nil {
+			// Prompt drain: the run was cancelled before this job
+			// started. Mark it skipped (and cancelled) without running.
+			errs[i] = fmt.Errorf("%w: %w", ErrSkipped, cerr)
+			spans[i].Fail(errs[i])
+			spans[i].End()
+			return
+		}
+		results[i], errs[i] = runOne(runCtx, pol, base, spans[i], jobs[i])
+		if errs[i] != nil && pol.FailFast {
+			cancel()
+		}
 	}
 
 	if workers <= 1 {
@@ -106,17 +267,49 @@ func Run[T any](name string, workers int, jobs []Job[T]) ([]T, error) {
 		wg.Wait()
 	}
 
+	var failed []*Error
 	for i, err := range errs {
 		if err != nil {
-			return results, &Error{Key: jobs[i].Key, Err: err}
+			failed = append(failed, &Error{Key: jobs[i].Key, Err: err})
 		}
+	}
+	if failed != nil {
+		parent.Set("failed", int64(len(failed)))
+		return results, &MultiError{Errors: failed, Jobs: len(jobs)}
 	}
 	return results, nil
 }
 
-// runOne executes a single job under its own recorder, converting a
-// panic into the job's error.
-func runOne[T any](base *obs.Recorder, span *obs.Span, job Job[T]) (result T, err error) {
+// runOne executes a single job — retrying transient failures per the
+// policy — and owns the job span's lifetime.
+func runOne[T any](ctx context.Context, pol Policy, base *obs.Recorder, span *obs.Span, job Job[T]) (result T, err error) {
+	start := time.Now()
+	defer func() {
+		span.SetWall(time.Since(start))
+		span.Fail(err)
+		span.End()
+	}()
+	for attempt := 0; ; attempt++ {
+		result, err = runAttempt(ctx, pol, base, span, job)
+		if err == nil || attempt >= pol.Retries || !pol.transient(err) || ctx.Err() != nil {
+			return result, err
+		}
+		span.Count("retries", 1)
+		obs.Logf("pool: retrying %s after transient failure: %v", job.Key, err)
+		if !sleep(ctx, pol.backoff(attempt)) {
+			return result, err
+		}
+	}
+}
+
+// runAttempt is one attempt of a job under its own recorder and
+// deadline, converting a panic into the job's error.
+func runAttempt[T any](ctx context.Context, pol Policy, base *obs.Recorder, span *obs.Span, job Job[T]) (result T, err error) {
+	if pol.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, pol.JobTimeout)
+		defer cancel()
+	}
 	var rec *obs.Recorder
 	if base != nil {
 		rec = obs.NewRecorder()
@@ -125,17 +318,29 @@ func runOne[T any](base *obs.Recorder, span *obs.Span, job Job[T]) (result T, er
 		prev := obs.BindGoroutine(rec)
 		defer obs.BindGoroutine(prev)
 	}
-	start := time.Now()
 	defer func() {
 		if rec != nil {
 			span.Adopt(rec.Spans())
 		}
-		span.SetWall(time.Since(start))
-		span.End()
 		if p := recover(); p != nil {
 			err = fmt.Errorf("panic: %v\n%s", p, debug.Stack())
 			span.Set("panic", 1)
 		}
 	}()
-	return job.Run()
+	if ferr := faultinject.Fire(ctx, "pool.worker", job.Key); ferr != nil {
+		return result, ferr
+	}
+	return job.Run(ctx)
+}
+
+// sleep waits for d, returning false if ctx is cancelled first.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

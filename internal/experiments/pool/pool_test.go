@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
 )
 
@@ -21,7 +23,7 @@ func TestParallelPoolOrdering(t *testing.T) {
 		i := i
 		jobs[i] = Job[int]{
 			Key: fmt.Sprintf("job%02d", i),
-			Run: func() (int, error) {
+			Run: func(context.Context) (int, error) {
 				// Early jobs sleep longest, so completion order is
 				// roughly the reverse of submission order.
 				time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
@@ -51,7 +53,7 @@ func TestParallelPoolBoundedConcurrency(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = Job[struct{}]{
 			Key: fmt.Sprintf("j%d", i),
-			Run: func() (struct{}, error) {
+			Run: func(context.Context) (struct{}, error) {
 				cur := inFlight.Add(1)
 				for {
 					p := peak.Load()
@@ -75,14 +77,14 @@ func TestParallelPoolBoundedConcurrency(t *testing.T) {
 
 // TestParallelPoolPanicRecovery: a panicking job becomes that job's
 // error (with its key and stack), other jobs still complete, and the
-// first failure in submission order wins deterministically.
+// first failure in submission order is found first by errors.As.
 func TestParallelPoolPanicRecovery(t *testing.T) {
 	ran := make([]atomic.Bool, 4)
 	jobs := []Job[int]{
-		{Key: "ok0", Run: func() (int, error) { ran[0].Store(true); return 1, nil }},
-		{Key: "boom", Run: func() (int, error) { ran[1].Store(true); panic("kaboom") }},
-		{Key: "fail", Run: func() (int, error) { ran[2].Store(true); return 0, errors.New("plain error") }},
-		{Key: "ok3", Run: func() (int, error) { ran[3].Store(true); return 4, nil }},
+		{Key: "ok0", Run: func(context.Context) (int, error) { ran[0].Store(true); return 1, nil }},
+		{Key: "boom", Run: func(context.Context) (int, error) { ran[1].Store(true); panic("kaboom") }},
+		{Key: "fail", Run: func(context.Context) (int, error) { ran[2].Store(true); return 0, errors.New("plain error") }},
+		{Key: "ok3", Run: func(context.Context) (int, error) { ran[3].Store(true); return 4, nil }},
 	}
 	for _, workers := range []int{1, 4} {
 		got, err := Run("panics", workers, jobs)
@@ -107,6 +109,249 @@ func TestParallelPoolPanicRecovery(t *testing.T) {
 	}
 }
 
+// TestPoolMultiError: the returned error carries EVERY keyed job
+// failure in submission order, not just the first, and unwraps so
+// errors.Is/As reach each one.
+func TestPoolMultiError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	jobs := []Job[int]{
+		{Key: "a", Run: func(context.Context) (int, error) { return 1, nil }},
+		{Key: "b", Run: func(context.Context) (int, error) { return 0, errors.New("b failed") }},
+		{Key: "c", Run: func(context.Context) (int, error) { return 3, nil }},
+		{Key: "d", Run: func(context.Context) (int, error) { return 0, fmt.Errorf("wrap: %w", sentinel) }},
+	}
+	for _, workers := range []int{1, 4} {
+		got, err := Run("multi", workers, jobs)
+		if got[0] != 1 || got[2] != 3 {
+			t.Errorf("workers=%d: healthy results lost: %v", workers, got)
+		}
+		var merr *MultiError
+		if !errors.As(err, &merr) {
+			t.Fatalf("workers=%d: error is not a MultiError: %v", workers, err)
+		}
+		if keys := merr.Keys(); len(keys) != 2 || keys[0] != "b" || keys[1] != "d" {
+			t.Errorf("workers=%d: failed keys %v, want [b d]", workers, keys)
+		}
+		if merr.Jobs != 4 {
+			t.Errorf("workers=%d: Jobs = %d", workers, merr.Jobs)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: sentinel not reachable through unwrap", workers)
+		}
+		if fails := Failures(err); len(fails) != 2 || fails[0].Key != "b" {
+			t.Errorf("workers=%d: Failures(err) = %v", workers, fails)
+		}
+	}
+	if Failures(nil) != nil {
+		t.Error("Failures(nil) must be nil")
+	}
+}
+
+// TestPoolFailFast: after the first failure the remaining jobs are
+// skipped (marked ErrSkipped + cancelled), and the drain is prompt.
+func TestPoolFailFast(t *testing.T) {
+	const n = 32
+	var started atomic.Int64
+	jobs := make([]Job[int], n)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("j%02d", i),
+			Run: func(ctx context.Context) (int, error) {
+				started.Add(1)
+				if i == 0 {
+					return 0, errors.New("first job fails")
+				}
+				// Later jobs wait on ctx so the serial path exercises
+				// skipping and the parallel path exercises cancellation.
+				select {
+				case <-ctx.Done():
+					return 0, ctx.Err()
+				case <-time.After(5 * time.Second):
+					return i, nil
+				}
+			},
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		started.Store(0)
+		start := time.Now()
+		_, err := RunPolicy(context.Background(), "failfast", workers, Policy{FailFast: true}, jobs)
+		if time.Since(start) > 2*time.Second {
+			t.Fatalf("workers=%d: fail-fast drain took %v", workers, time.Since(start))
+		}
+		var merr *MultiError
+		if !errors.As(err, &merr) {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(merr.Errors) < n-workers {
+			t.Errorf("workers=%d: only %d failures recorded", workers, len(merr.Errors))
+		}
+		if merr.Errors[0].Key != "j00" {
+			t.Errorf("workers=%d: first failure %q", workers, merr.Errors[0].Key)
+		}
+		skipped := 0
+		for _, e := range merr.Errors[1:] {
+			if errors.Is(e, ErrSkipped) {
+				if !errors.Is(e, context.Canceled) {
+					t.Errorf("workers=%d: skipped job not marked cancelled: %v", workers, e)
+				}
+				skipped++
+			}
+		}
+		if skipped == 0 {
+			t.Errorf("workers=%d: no jobs were skipped", workers)
+		}
+		if s := started.Load(); s > int64(workers) {
+			t.Errorf("workers=%d: %d jobs started after fail-fast", workers, s)
+		}
+	}
+}
+
+// TestPoolExternalCancel: cancelling the caller's context drains the
+// pool promptly and accounts for every job.
+func TestPoolExternalCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	jobs := make([]Job[int], 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job[int]{
+			Key: fmt.Sprintf("j%02d", i),
+			Run: func(ctx context.Context) (int, error) {
+				if i == 0 {
+					close(release)
+				}
+				<-ctx.Done()
+				return 0, ctx.Err()
+			},
+		}
+	}
+	go func() {
+		<-release
+		cancel()
+	}()
+	_, err := RunPolicy(ctx, "cancel", 2, Policy{}, jobs)
+	var merr *MultiError
+	if !errors.As(err, &merr) || len(merr.Errors) != 16 {
+		t.Fatalf("expected all jobs to fail after cancel: %v", err)
+	}
+	for _, e := range merr.Errors {
+		if !errors.Is(e, context.Canceled) {
+			t.Errorf("job %s: %v not a cancellation", e.Key, e.Err)
+		}
+	}
+}
+
+// TestPoolJobTimeout: a job that honors its context is cut off by the
+// per-job deadline; jobs that finish in time are untouched.
+func TestPoolJobTimeout(t *testing.T) {
+	jobs := []Job[string]{
+		{Key: "fast", Run: func(context.Context) (string, error) { return "done", nil }},
+		{Key: "stuck", Run: func(ctx context.Context) (string, error) {
+			<-ctx.Done()
+			return "", ctx.Err()
+		}},
+	}
+	got, err := RunPolicy(context.Background(), "deadline", 2,
+		Policy{JobTimeout: 30 * time.Millisecond}, jobs)
+	if got[0] != "done" {
+		t.Errorf("fast job result %q", got[0])
+	}
+	fails := Failures(err)
+	if len(fails) != 1 || fails[0].Key != "stuck" || !errors.Is(fails[0], context.DeadlineExceeded) {
+		t.Fatalf("expected stuck/deadline, got %v", err)
+	}
+}
+
+// TestPoolRetryTransient: transient failures are retried with
+// backoff until the budget runs out; non-transient failures are not
+// retried at all.
+func TestPoolRetryTransient(t *testing.T) {
+	type flaky struct{ error }
+	transient := func(err error) bool {
+		var f flaky
+		return errors.As(err, &f)
+	}
+
+	var attempts atomic.Int64
+	jobs := []Job[int]{{
+		Key: "flaky",
+		Run: func(context.Context) (int, error) {
+			if attempts.Add(1) < 3 {
+				return 0, flaky{errors.New("transient blip")}
+			}
+			return 42, nil
+		},
+	}}
+	pol := Policy{Retries: 3, Backoff: time.Millisecond, IsTransient: transient}
+	got, err := RunPolicy(context.Background(), "retry", 1, pol, jobs)
+	if err != nil || got[0] != 42 {
+		t.Fatalf("retries should have recovered: %v %v", got, err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Errorf("took %d attempts, want 3", n)
+	}
+
+	// Budget exhausted: the last error surfaces.
+	attempts.Store(0)
+	alwaysBad := []Job[int]{{
+		Key: "hopeless",
+		Run: func(context.Context) (int, error) {
+			attempts.Add(1)
+			return 0, flaky{errors.New("always")}
+		},
+	}}
+	if _, err := RunPolicy(context.Background(), "retry2", 1, Policy{Retries: 2, Backoff: time.Millisecond, IsTransient: transient}, alwaysBad); err == nil {
+		t.Fatal("expected failure after retries exhausted")
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Errorf("%d attempts, want 1+2 retries", n)
+	}
+
+	// Non-transient: one attempt only.
+	attempts.Store(0)
+	solid := []Job[int]{{
+		Key: "solid",
+		Run: func(context.Context) (int, error) {
+			attempts.Add(1)
+			return 0, errors.New("permanent")
+		},
+	}}
+	if _, err := RunPolicy(context.Background(), "retry3", 1, Policy{Retries: 5, Backoff: time.Millisecond, IsTransient: transient}, solid); err == nil {
+		t.Fatal("expected failure")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Errorf("non-transient error retried (%d attempts)", n)
+	}
+}
+
+// TestPoolDefaultTransient: with no classifier, errors exposing
+// Transient() bool (as injected faults do) are retried.
+func TestPoolDefaultTransient(t *testing.T) {
+	s, err := faultinject.Parse("pool.worker=blip:error:transient:count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(s)
+	t.Cleanup(faultinject.Disable)
+
+	var ran atomic.Int64
+	jobs := []Job[int]{{
+		Key: "blip",
+		Run: func(context.Context) (int, error) { ran.Add(1); return 7, nil },
+	}}
+	got, err := RunPolicy(context.Background(), "transient", 1, Policy{Retries: 1, Backoff: time.Millisecond}, jobs)
+	if err != nil || got[0] != 7 {
+		t.Fatalf("transient injected fault not retried: %v %v", got, err)
+	}
+	if ran.Load() != 1 {
+		// First attempt died at the injection point (before Run);
+		// the retry succeeded.
+		t.Errorf("job body ran %d times, want 1", ran.Load())
+	}
+}
+
 // TestParallelPoolSpanTree: the pool records one child span per job in
 // submission order — regardless of worker count — and grafts each
 // job's privately recorded spans under its own child.
@@ -119,7 +364,7 @@ func TestParallelPoolSpanTree(t *testing.T) {
 			i := i
 			jobs[i] = Job[int]{
 				Key: fmt.Sprintf("k%d", i),
-				Run: func() (int, error) {
+				Run: func(context.Context) (int, error) {
 					sp := obs.Begin("inner")
 					sp.Set("idx", int64(i))
 					sp.End()
@@ -157,13 +402,40 @@ func TestParallelPoolSpanTree(t *testing.T) {
 	}
 }
 
+// TestPoolSpanFailureAnnotations: failed and skipped jobs are marked
+// on their spans (error / cancelled counters).
+func TestPoolSpanFailureAnnotations(t *testing.T) {
+	rec := obs.NewRecorder()
+	obs.Install(rec)
+	defer obs.Install(nil)
+	jobs := []Job[int]{
+		{Key: "bad", Run: func(context.Context) (int, error) { return 0, errors.New("x") }},
+		{Key: "never", Run: func(context.Context) (int, error) { return 1, nil }},
+	}
+	_, err := RunPolicy(context.Background(), "annot", 1, Policy{FailFast: true}, jobs)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	spans := rec.Spans()
+	p := spans[0]
+	if p.Children[0].Counters["error"] != 1 {
+		t.Errorf("failed job span counters: %v", p.Children[0].Counters)
+	}
+	if p.Children[1].Counters["cancelled"] != 1 {
+		t.Errorf("skipped job span counters: %v", p.Children[1].Counters)
+	}
+	if p.Counter("failed") != 2 {
+		t.Errorf("pool failed counter = %d", p.Counter("failed"))
+	}
+}
+
 // TestParallelPoolNoRecorder: with observability off the pool neither
 // panics nor installs anything.
 func TestParallelPoolNoRecorder(t *testing.T) {
 	obs.Install(nil)
 	got, err := Run("quiet", 4, []Job[string]{
-		{Key: "a", Run: func() (string, error) { return "x", nil }},
-		{Key: "b", Run: func() (string, error) { return "y", nil }},
+		{Key: "a", Run: func(context.Context) (string, error) { return "x", nil }},
+		{Key: "b", Run: func(context.Context) (string, error) { return "y", nil }},
 	})
 	if err != nil || got[0] != "x" || got[1] != "y" {
 		t.Fatalf("got %v, %v", got, err)

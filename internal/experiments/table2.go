@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -67,6 +68,11 @@ type table2Key struct {
 // serial loop. Variant runs at block sizes where the unoptimized
 // program shows no false sharing are discarded, exactly as the serial
 // path skipped them.
+//
+// When some measurements fail (and cfg.Policy keeps going), a block
+// size is dropped from a program's average when its reference or any
+// variant is missing, and the row itself is dropped when no block
+// size survives; a *Partial error names the failed cells.
 func Table2(cfg Config) ([]Table2Row, error) {
 	variants := onlyConfigs()
 	names := make([]string, 0, len(variants))
@@ -85,12 +91,12 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		}
 		jobs = append(jobs, pool.Job[int64]{
 			Key: fmt.Sprintf("table2/%s/b%d/%s", b.Name, blk, variant),
-			Run: func() (int64, error) {
-				prog, err := Program(b, ver, procs, cfg.Scale, blk, hc)
+			Run: func(ctx context.Context) (int64, error) {
+				prog, err := ProgramCtx(ctx, b, ver, procs, cfg.Scale, blk, hc)
 				if err != nil {
 					return 0, fmt.Errorf("table2 %s %s: %w", b.Name, variant, err)
 				}
-				stats, err := MeasureBlocks(prog, []int64{blk})
+				stats, err := MeasureBlocksCtx(ctx, prog, []int64{blk}, 1, cfg.StepBudget)
 				if err != nil {
 					return 0, err
 				}
@@ -111,21 +117,40 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		}
 	}
 
-	fsCounts, err := pool.Run("table2", cfg.Workers, jobs)
-	if err != nil {
-		return nil, err
-	}
+	fsCounts, err := runJobs(cfg, "table2", jobs)
+	failed := failedKeys(err)
 	fs := make(map[table2Key]int64, len(keys))
+	have := make(map[table2Key]bool, len(keys))
 	for i, k := range keys {
+		if failed[jobs[i].Key] {
+			continue
+		}
 		fs[k] = fsCounts[i]
+		have[k] = true
 	}
 
 	var rows []Table2Row
 	for _, b := range workload.Unoptimizable() {
 		row := Table2Row{Program: b.Name}
 		reductions := map[string][]float64{}
+		usable := 0
 		for _, blk := range cfg.Table2Blocks {
-			fsN := fs[table2Key{prog: b.Name, block: blk, variant: "N"}]
+			nKey := table2Key{prog: b.Name, block: blk, variant: "N"}
+			if !have[nKey] {
+				continue // reference measurement failed
+			}
+			complete := true
+			for _, name := range names {
+				if !have[table2Key{prog: b.Name, block: blk, variant: name}] {
+					complete = false
+					break
+				}
+			}
+			if !complete {
+				continue // a variant failed: the block can't be attributed
+			}
+			usable++
+			fsN := fs[nKey]
 			if fsN == 0 {
 				continue // no false sharing at this block size
 			}
@@ -137,6 +162,9 @@ func Table2(cfg Config) ([]Table2Row, error) {
 				reductions[name] = append(reductions[name], red)
 			}
 		}
+		if usable == 0 && err != nil {
+			continue // every block size of this program lost a cell
+		}
 		row.Total = 100 * mean(reductions["all"])
 		row.GroupTranspose = 100 * mean(reductions["gt"])
 		row.Indirection = 100 * mean(reductions["ind"])
@@ -144,7 +172,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		row.Locks = 100 * mean(reductions["locks"])
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, partial(err, len(jobs))
 }
 
 func mean(xs []float64) float64 {

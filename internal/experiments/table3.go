@@ -23,15 +23,23 @@ type Table3Row struct {
 
 // Table3 regenerates the paper's Table 3 across the whole suite. The
 // sweeps of all ten programs fan out through one job pool.
+//
+// When some sweep jobs fail (and cfg.Policy keeps going), programs
+// whose sweeps completed still get rows; a program missing any sweep
+// point is dropped (its maxima would be bogus) and reported through
+// the *Partial error.
 func Table3(cfg Config, machine ksr.Config) ([]Table3Row, error) {
 	benches := workload.All()
 	perBench, err := benchCurves("table3", benches, cfg, machine)
-	if err != nil {
+	if err != nil && perBench == nil {
 		return nil, fmt.Errorf("table3: %w", err)
 	}
 	var rows []Table3Row
 	for i, b := range benches {
 		curves := perBench[i]
+		if curves == nil {
+			continue // this benchmark lost a sweep job
+		}
 		row := Table3Row{
 			Program: b.Name,
 			Max:     map[Version]float64{},
@@ -44,7 +52,7 @@ func Table3(cfg Config, machine ksr.Config) ([]Table3Row, error) {
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, err
 }
 
 // RenderTable3 formats the rows like the paper's Table 3.

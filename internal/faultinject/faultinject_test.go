@@ -1,0 +1,204 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// withSet installs a parsed spec for the duration of the test.
+func withSet(t *testing.T, spec string) *Set {
+	t.Helper()
+	s, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	Enable(s)
+	t.Cleanup(Disable)
+	return s
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"justapoint",
+		"p:wrongmode",
+		"p:delay",              // delay needs a duration
+		"p:delay=xyz",          // bad duration
+		"p:error:after=-1",     // negative after
+		"p:error:count=0",      // count must be positive
+		"p:error:p=1.5",        // probability out of range
+		"p:error:transient=no", // transient takes no value
+		"p:error:bogus=1",      // unknown option
+		":error",               // empty point
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): expected error", bad)
+		}
+	}
+	if s, err := Parse(" ; ;"); err != nil || len(s.Rules) != 0 {
+		t.Errorf("blank spec: %v, %+v", err, s)
+	}
+}
+
+func TestDisabledIsNoop(t *testing.T) {
+	Disable()
+	if Active() {
+		t.Fatal("Active after Disable")
+	}
+	if err := Fire(context.Background(), "vm.run", "x"); err != nil {
+		t.Fatalf("disabled Fire returned %v", err)
+	}
+}
+
+func TestErrorMatchAndCount(t *testing.T) {
+	withSet(t, "pool.worker=fig3/maxflow:error:count=2")
+	hits := 0
+	for i := 0; i < 5; i++ {
+		if err := Fire(nil, "pool.worker", "fig3/maxflow/N/b16"); err != nil {
+			hits++
+			var fe *Error
+			if !errors.As(err, &fe) || fe.Point != "pool.worker" {
+				t.Fatalf("wrong error: %v", err)
+			}
+			if fe.Transient() {
+				t.Error("non-transient rule produced a transient error")
+			}
+		}
+	}
+	if hits != 2 {
+		t.Errorf("count=2 fired %d times", hits)
+	}
+	if err := Fire(nil, "pool.worker", "fig3/pverify/N/b16"); err != nil {
+		t.Errorf("non-matching detail fired: %v", err)
+	}
+	if err := Fire(nil, "vm.run", "fig3/maxflow"); err != nil {
+		t.Errorf("non-matching point fired: %v", err)
+	}
+}
+
+func TestAfterSkipsLeadingHits(t *testing.T) {
+	withSet(t, "vm.run:error:after=2:count=1")
+	var got []int
+	for i := 0; i < 5; i++ {
+		if Fire(nil, "vm.run", "") != nil {
+			got = append(got, i)
+		}
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("after=2:count=1 fired at hits %v, want [2]", got)
+	}
+}
+
+func TestTransientFlag(t *testing.T) {
+	withSet(t, "pool.worker:error:transient")
+	err := Fire(nil, "pool.worker", "k")
+	var fe *Error
+	if !errors.As(err, &fe) || !fe.Transient() {
+		t.Fatalf("expected transient injected error, got %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	withSet(t, "core.restructure:panic:count=1")
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(p.(string), "core.restructure") {
+			t.Fatalf("panic value %v", p)
+		}
+	}()
+	Fire(nil, "core.restructure", "")
+}
+
+func TestDelayMode(t *testing.T) {
+	withSet(t, "pool.worker:delay=30ms:count=1")
+	start := time.Now()
+	if err := Fire(context.Background(), "pool.worker", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("delay fired but only slept %v", d)
+	}
+	// Second hit: count exhausted, no delay.
+	start = time.Now()
+	Fire(context.Background(), "pool.worker", "k")
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Errorf("exhausted delay rule still slept %v", d)
+	}
+}
+
+func TestHangRespectsContext(t *testing.T) {
+	withSet(t, "vm.run:hang")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Fire(ctx, "vm.run", "")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang returned %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("hang returned before cancellation")
+	}
+	// nil ctx: must not block forever — degrade to an error.
+	if err := Fire(nil, "vm.run", ""); err == nil {
+		t.Error("hang with nil ctx must fail, not pass")
+	}
+}
+
+// TestProbabilityDeterministic: p+seed selects a fixed subset of
+// details — the same ones on every pass — and different seeds pick
+// different subsets.
+func TestProbabilityDeterministic(t *testing.T) {
+	withSet(t, "pool.worker:error:p=0.5:seed=7")
+	details := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	pick := func() string {
+		var sb strings.Builder
+		for _, d := range details {
+			if Fire(nil, "pool.worker", d) != nil {
+				sb.WriteString(d)
+			}
+		}
+		return sb.String()
+	}
+	first := pick()
+	for i := 0; i < 3; i++ {
+		if got := pick(); got != first {
+			t.Fatalf("selection changed between passes: %q vs %q", first, got)
+		}
+	}
+	if first == "" || first == strings.Join(details, "") {
+		t.Errorf("p=0.5 selected %q of %v — suspicious", first, details)
+	}
+
+	withSet(t, "pool.worker:error:p=0.5:seed=8")
+	if second := pick(); second == first {
+		t.Errorf("seed change kept selection %q", first)
+	}
+}
+
+func TestWildcardPoint(t *testing.T) {
+	withSet(t, "*:error")
+	for _, pt := range []string{"pool.worker", "vm.run", "trace.partee"} {
+		if Fire(nil, pt, "") == nil {
+			t.Errorf("wildcard did not fire at %s", pt)
+		}
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Cleanup(Disable)
+	if s, err := FromEnv(""); err != nil || s != nil || Active() {
+		t.Fatalf("empty env: %v %v active=%v", s, err, Active())
+	}
+	s, err := FromEnv("vm.run:error")
+	if err != nil || s == nil || !Active() {
+		t.Fatalf("FromEnv: %v %v active=%v", s, err, Active())
+	}
+	if _, err := FromEnv("garbage"); err == nil {
+		t.Error("bad env spec must error")
+	}
+}

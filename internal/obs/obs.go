@@ -10,6 +10,8 @@
 package obs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -265,6 +267,25 @@ func (s *Span) Adopt(children []*Span) {
 	s.Children = append(s.Children, children...)
 }
 
+// Fail annotates the span with a failure class counter: "cancelled"
+// for context cancellation, "timeout" for a deadline, "error" for
+// anything else. The experiment pool stamps job spans this way so
+// manifests show which cells failed and how. nil-safe; nil err is a
+// no-op.
+func (s *Span) Fail(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.Set("cancelled", 1)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.Set("timeout", 1)
+	default:
+		s.Set("error", 1)
+	}
+}
+
 // SetWall overrides the span's wall time (the pool stamps each job
 // span with the job's run time, excluding queue wait). nil-safe.
 func (s *Span) SetWall(d time.Duration) {
@@ -336,6 +357,19 @@ func (s *Span) Find(name string) *Span {
 		}
 	}
 	return nil
+}
+
+// Adopt attaches snapshot spans at the recorder's top level. The
+// experiment journal uses it to restore a cached job's recorded span
+// subtree, so a resumed run's manifest matches the uninterrupted one.
+// nil-safe.
+func (r *Recorder) Adopt(spans []*Span) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.root.Children = append(r.root.Children, spans...)
 }
 
 // Spans returns a snapshot of the recorder's top-level spans. Spans

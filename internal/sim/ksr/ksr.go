@@ -20,6 +20,7 @@
 package ksr
 
 import (
+	"context"
 	"fmt"
 
 	"falseshare/internal/core"
@@ -38,6 +39,9 @@ type Config struct {
 	RingOccupancy float64 // ring cycles consumed per transaction
 	CPI           float64 // cycles per (non-stalled) instruction
 	MaxUtil       float64 // utilization cap for the queueing term
+	// StepBudget caps per-process instructions on the underlying VM
+	// (0: the VM default); see vm.Machine.MaxInstrs.
+	StepBudget int64
 }
 
 // DefaultConfig returns the KSR2-like parameters.
@@ -81,12 +85,22 @@ type phaseSnapshot struct {
 // Execute runs the program (already compiled for its process count)
 // through the VM + cache simulator and applies the time model.
 func Execute(prog *core.Program, cfg Config) (*Result, error) {
+	return ExecuteCtx(context.Background(), prog, cfg)
+}
+
+// ExecuteCtx is Execute with cooperative cancellation: the VM checks
+// ctx periodically, so a cancelled sweep job stops mid-execution.
+func ExecuteCtx(ctx context.Context, prog *core.Program, cfg Config) (*Result, error) {
 	nprocs := int(prog.Layout.Nprocs)
 	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
 	if err != nil {
 		return nil, err
 	}
 	m := vm.New(bc)
+	m.SetContext(ctx)
+	if cfg.StepBudget > 0 {
+		m.MaxInstrs = cfg.StepBudget
+	}
 	sim := cache.New(cache.Config{
 		NumProcs:  nprocs,
 		BlockSize: cfg.BlockSize,

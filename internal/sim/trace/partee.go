@@ -3,8 +3,10 @@ package trace
 import (
 	"fmt"
 	"runtime/debug"
+	"strconv"
 	"sync"
 
+	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
 	"falseshare/internal/vm"
 )
@@ -30,8 +32,9 @@ type ParTee struct {
 	batchSize int
 	cur       []vm.Ref
 
-	mu     sync.Mutex
-	panics []error
+	mu       sync.Mutex
+	failures []error
+	closed   bool
 }
 
 // NewParTee starts one goroutine per sink. batch <= 0 uses
@@ -65,20 +68,28 @@ func (t *ParTee) SetSpan(i int, s *obs.Span) { t.spans[i] = s }
 func (t *ParTee) worker(i int) {
 	defer t.wg.Done()
 	var refs, batches int64
+	fail := func(err error) {
+		t.mu.Lock()
+		t.failures = append(t.failures, err)
+		t.mu.Unlock()
+		t.spans[i].Fail(err)
+		for range t.chans[i] {
+			// Drain so the producer never blocks on a dead worker.
+		}
+	}
 	defer func() {
 		if p := recover(); p != nil {
-			t.mu.Lock()
-			t.panics = append(t.panics, fmt.Errorf("trace: sink %d panicked: %v\n%s", i, p, debug.Stack()))
-			t.mu.Unlock()
-			for range t.chans[i] {
-				// Drain so the producer never blocks on a dead worker.
-			}
+			fail(fmt.Errorf("trace: sink %d panicked: %v\n%s", i, p, debug.Stack()))
 		}
 		sp := t.spans[i]
 		sp.Set("refs", refs)
 		sp.Set("batches", batches)
 		sp.End()
 	}()
+	if err := faultinject.Fire(nil, "trace.partee", strconv.Itoa(i)); err != nil {
+		fail(fmt.Errorf("trace: sink %d: %w", i, err))
+		return
+	}
 	sink := t.sinks[i]
 	for b := range t.chans[i] {
 		batches++
@@ -109,17 +120,25 @@ func (t *ParTee) publish() {
 }
 
 // Close flushes the final partial batch, waits for every worker to
-// finish, and surfaces any sink panic as an error.
+// finish, and surfaces any sink panic or injected fault as an error.
+// It is idempotent: a second Close only reports the recorded failures
+// again, so cleanup paths may call it unconditionally.
 func (t *ParTee) Close() error {
-	if len(t.cur) > 0 {
-		t.publish()
+	t.mu.Lock()
+	closed := t.closed
+	t.closed = true
+	t.mu.Unlock()
+	if !closed {
+		if len(t.cur) > 0 {
+			t.publish()
+		}
+		for _, ch := range t.chans {
+			close(ch)
+		}
+		t.wg.Wait()
 	}
-	for _, ch := range t.chans {
-		close(ch)
-	}
-	t.wg.Wait()
-	if len(t.panics) > 0 {
-		return t.panics[0]
+	if len(t.failures) > 0 {
+		return t.failures[0]
 	}
 	return nil
 }

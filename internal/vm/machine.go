@@ -1,11 +1,13 @@
 package vm
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
 
+	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
 )
 
@@ -72,13 +74,19 @@ type Machine struct {
 	heapAllocs  []allocEntry
 	arenaAllocs [][]allocEntry
 
-	// MaxInstrs bounds per-process execution (safety net against
-	// runaway programs). Zero means the default of 1e9.
+	// MaxInstrs is the step budget: it bounds per-process execution so
+	// a non-terminating program (a restructurer bug, an adversarial
+	// input) fails with "step budget exceeded" instead of hanging the
+	// whole sweep. Zero means the default of 1e9.
 	MaxInstrs int64
 
 	// OnBarrier, when set, is invoked at every barrier release — the
 	// execution-time model uses it to account work phase by phase.
 	OnBarrier func()
+
+	// ctx, when set, cancels the run cooperatively: the scheduler
+	// checks it periodically and Run returns its error.
+	ctx context.Context
 
 	barrierCount int64
 }
@@ -122,6 +130,11 @@ func New(prog *Program) *Machine {
 	}
 	return m
 }
+
+/// SetContext makes the run cancellable: the scheduler polls ctx
+// between rounds and Run returns ctx.Err() once it is cancelled. The
+// experiment pool routes per-job deadlines and Ctrl-C through here.
+func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
 
 // Procs exposes the per-process counters after a run.
 func (m *Machine) Procs() []*Proc { return m.procs }
@@ -189,8 +202,20 @@ func (m *Machine) Run(sink func(Ref)) error {
 }
 
 func (m *Machine) run(sink func(Ref)) error {
+	if err := faultinject.Fire(m.ctx, "vm.run", ""); err != nil {
+		return err
+	}
 	const slice = 20000 // private instructions per turn
-	for {
+	// ctx poll period, in scheduler rounds: frequent enough that a
+	// cancelled sweep drains in microseconds, rare enough that the
+	// mutex inside ctx.Err() stays invisible next to simulation cost.
+	const pollEvery = 256
+	for round := 0; ; round++ {
+		if m.ctx != nil && round%pollEvery == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		anyRunning := false
 		atBarrier := 0
 		done := 0
@@ -242,7 +267,7 @@ func (m *Machine) step(p *Proc, slice int, sink func(Ref)) error {
 		in := f.Code()[f.pc]
 		p.Instrs++
 		if p.Instrs > m.max() {
-			return m.fail(p, f, "instruction budget exhausted (runaway program?)")
+			return m.fail(p, f, "step budget exceeded (%d instrs) at pc=%d (runaway program?)", p.Instrs-1, f.pc)
 		}
 
 		emitted, blocked, err := m.exec(p, f, in, sink)
