@@ -229,7 +229,10 @@ func BenchmarkAblationWordInvalidateHW(b *testing.B) {
 			}
 			cfg := cache.DefaultConfig(12, 128)
 			cfg.WordInvalidate = wordInval
-			sim := cache.New(cfg)
+			sim, err := cache.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
 			m := vm.New(bc)
 			if err := m.Run(func(r vm.Ref) {
 				sim.Access(r.Proc, r.Addr, int64(r.Size), r.Write)

@@ -53,6 +53,41 @@ func TestGoldenFig3Output(t *testing.T) {
 	}
 }
 
+// TestGoldenTable2Output pins the exact text `fsexp -table2` prints on
+// a reduced block set (the -scale-min configuration), mirroring
+// TestGoldenFig3Output: deterministic simulation, so any diff is a
+// formatting or classification change.
+func TestGoldenTable2Output(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Workers = 4 // golden output must not depend on parallelism
+	cfg.Table2Blocks = []int64{32, 128}
+	rows, err := experiments.Table2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := experiments.RenderTable2(rows) + "\n"
+
+	golden := filepath.Join("testdata", "table2.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/fsexp -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("fsexp -table2 output drifted from %s (refresh with -update if intended):\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
 // diffLines renders a minimal line diff for the failure message.
 func diffLines(want, got string) string {
 	w, g := splitLines(want), splitLines(got)

@@ -51,18 +51,20 @@ import (
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "print Table 1 (the benchmark suite)")
-		fig3   = flag.Bool("fig3", false, "regenerate Figure 3 (miss-rate bars)")
-		table2 = flag.Bool("table2", false, "regenerate Table 2 (FS reduction by transformation)")
-		fig4   = flag.Bool("fig4", false, "regenerate Figure 4 (speedup curves)")
-		table3 = flag.Bool("table3", false, "regenerate Table 3 (maximum speedups)")
-		aggr   = flag.Bool("aggregates", false, "regenerate the §1/§5 aggregate numbers")
-		ccost  = flag.Bool("compilecost", false, "measure front-end vs restructuring time (§3.1 claim)")
-		all    = flag.Bool("all", false, "regenerate everything")
-		quick  = flag.Bool("quick", false, "smaller processor sweeps (faster)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of formatted tables (fig3/fig4/table2)")
-		scale  = flag.Int("scale", 1, "workload scale")
-		jobs   = flag.Int("j", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = serial)")
+		table1   = flag.Bool("table1", false, "print Table 1 (the benchmark suite)")
+		fig3     = flag.Bool("fig3", false, "regenerate Figure 3 (miss-rate bars)")
+		table2   = flag.Bool("table2", false, "regenerate Table 2 (FS reduction by transformation)")
+		fig4     = flag.Bool("fig4", false, "regenerate Figure 4 (speedup curves)")
+		table3   = flag.Bool("table3", false, "regenerate Table 3 (maximum speedups)")
+		aggr     = flag.Bool("aggregates", false, "regenerate the §1/§5 aggregate numbers")
+		ccost    = flag.Bool("compilecost", false, "measure front-end vs restructuring time (§3.1 claim)")
+		all      = flag.Bool("all", false, "regenerate everything")
+		bench    = flag.Bool("bench", false, "replay the fixed benchmark matrix and write the BENCH_sim.json trajectory")
+		benchout = flag.String("benchout", "BENCH_sim.json", "output path for the -bench report")
+		quick    = flag.Bool("quick", false, "smaller processor sweeps (faster)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables (fig3/fig4/table2)")
+		scale    = flag.Int("scale", 1, "workload scale")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = serial)")
 
 		scaleMin = flag.Bool("scale-min", false, "minimal sweeps and block sets (CI smoke runs)")
 
@@ -82,7 +84,7 @@ func main() {
 	if *all {
 		*table1, *fig3, *table2, *fig4, *table3, *aggr, *ccost = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*table2 && !*fig4 && !*table3 && !*aggr && !*ccost {
+	if !*table1 && !*fig3 && !*table2 && !*fig4 && !*table3 && !*aggr && !*ccost && !*bench {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -268,6 +270,12 @@ func main() {
 	if *ccost {
 		rows := run("compilecost", func() (any, error) { return experiments.CompileCost(cfg, 12, 5) }).([]experiments.CompileCostRow)
 		fmt.Println(experiments.RenderCompileCost(rows))
+	}
+	if *bench {
+		rep := run("bench", func() (any, error) { return experiments.Bench(cfg, nil, nil) }).(*experiments.BenchReport)
+		check(experiments.WriteBenchReport(*benchout, rep))
+		fmt.Println(experiments.RenderBench(rep))
+		fmt.Fprintf(os.Stderr, "fsexp: bench report -> %s\n", *benchout)
 	}
 
 	if *memprof != "" {

@@ -102,8 +102,15 @@ func main() {
 	var blocks []int64
 	for _, s := range strings.Split(*blockList, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
-		if err != nil || v < 4 {
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "fssim: bad block size %q\n", s)
+			os.Exit(2)
+		}
+		// Validate each block against the simulator configuration it
+		// will become, so a bad size (not a power of two, too small)
+		// is one clear message here instead of garbage classifications.
+		if verr := cache.DefaultConfig(*nprocs, v).Validate(); verr != nil {
+			fmt.Fprintf(os.Stderr, "fssim: %v\n", verr)
 			os.Exit(2)
 		}
 		blocks = append(blocks, v)
@@ -119,7 +126,10 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		sims := newSims(*nprocs, blocks, *verbose)
+		sims, err := newSims(*nprocs, blocks, *verbose)
+		if err != nil {
+			fatal(err)
+		}
 		sinks := make([]trace.Sink, len(sims))
 		for i, s := range sims {
 			s := s
@@ -127,12 +137,19 @@ func main() {
 		}
 		sp := obs.Begin("replay")
 		sink, finish := fanout(*jobs, sp, blocks, sinks...)
-		// The trace format carries no process count, so a stored ref can
-		// name a proc the -p sized simulators have no counters for.
-		// Reject it before it reaches a sink rather than panicking there.
+		tr := trace.NewReader(f)
+		// Headered traces declare their capture's process count: check
+		// it against -p up front (the Reader additionally validates
+		// every record). Legacy headerless traces carry no count, so a
+		// stored ref could name a proc the -p sized simulators have no
+		// counters for; reject it before it reaches a sink rather than
+		// panicking there.
+		if n := tr.Nprocs(); n > *nprocs {
+			fatal(fmt.Errorf("trace %s was captured with %d processes; rerun with -p %d or more", *replay, n, n))
+		}
 		var badRef error
 		nrec := 0
-		err = trace.NewReader(f).ForEach(func(r vm.Ref) {
+		err = tr.ForEach(func(r vm.Ref) {
 			nrec++
 			if badRef == nil && r.Proc >= *nprocs {
 				badRef = fmt.Errorf("trace %s: record %d uses proc %d; rerun with -p %d or more",
@@ -246,11 +263,16 @@ func blockTraceName(base string, block int64, multi bool) string {
 }
 
 // newSims builds one simulator per block size, streaming progress in
-// verbose mode.
-func newSims(nprocs int, blocks []int64, verbose bool) []*cache.Sim {
+// verbose mode. Block sizes are validated at flag parsing, so a
+// failure here means a programming error upstream.
+func newSims(nprocs int, blocks []int64, verbose bool) ([]*cache.Sim, error) {
 	sims := make([]*cache.Sim, len(blocks))
 	for i, blk := range blocks {
-		sims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
+		var err error
+		sims[i], err = cache.New(cache.DefaultConfig(nprocs, blk))
+		if err != nil {
+			return nil, err
+		}
 		if verbose && i == 0 {
 			blk := blk
 			sims[i].SetSampler(sampleEvery, func(st *cache.Stats) {
@@ -259,7 +281,7 @@ func newSims(nprocs int, blocks []int64, verbose bool) []*cache.Sim {
 			})
 		}
 	}
-	return sims
+	return sims, nil
 }
 
 // fanout assembles the reference-delivery path for the given sinks: a
@@ -291,7 +313,10 @@ func runAndReport(ctx context.Context, prog *core.Program, nprocs, j int, budget
 	if err != nil {
 		return nil, err
 	}
-	sims := newSims(nprocs, blocks, verbose)
+	sims, err := newSims(nprocs, blocks, verbose)
+	if err != nil {
+		return nil, err
+	}
 	sinks := make([]trace.Sink, 0, len(blocks)+1)
 	for _, s := range sims {
 		s := s
@@ -304,7 +329,7 @@ func runAndReport(ctx context.Context, prog *core.Program, nprocs, j int, budget
 			return nil, err
 		}
 		defer f.Close()
-		tw = trace.NewWriter(f)
+		tw = trace.NewWriter(f, nprocs)
 		sinks = append(sinks, tw.Sink())
 	}
 	sp := obs.Begin("measure")

@@ -41,7 +41,10 @@ func main() {
 		}
 		cfg := cache.DefaultConfig(nprocs, block)
 		cfg.WordInvalidate = wordInval
-		sim := cache.New(cfg)
+		sim, err := cache.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if err := vm.New(bc).Run(func(r vm.Ref) {
 			sim.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
 		}); err != nil {

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"falseshare/internal/core"
+	"falseshare/internal/obs"
+	"falseshare/internal/sim/cache"
+	"falseshare/internal/vm"
+	"falseshare/internal/workload"
+)
+
+// BenchSchema identifies the BENCH_sim.json format.
+const BenchSchema = "falseshare/bench/v1"
+
+// BenchPrograms is the fixed workload matrix the -bench mode replays:
+// the three trace-heavy benchmarks of Table 1.
+var BenchPrograms = []string{"maxflow", "mp3d", "pverify"}
+
+// BenchBlocks are the block sizes of the -bench matrix.
+var BenchBlocks = []int64{16, 64, 128, 256}
+
+// BenchCell is one (program × block) simulator measurement: the full
+// reference trace of the unoptimized program replayed through one
+// cache configuration, timed.
+type BenchCell struct {
+	Program      string  `json:"program"`
+	Version      string  `json:"version"`
+	Procs        int     `json:"procs"`
+	Block        int64   `json:"block"`
+	Refs         int64   `json:"refs"`
+	WallNs       int64   `json:"wall_ns"`
+	NsPerRef     float64 `json:"ns_per_ref"`
+	AllocsPerRef float64 `json:"allocs_per_ref"`
+	MissRate     float64 `json:"miss_rate"`
+}
+
+// BenchFigure records the end-to-end wall time of regenerating one
+// figure or table (compile + execute + simulate + render inputs).
+type BenchFigure struct {
+	Name   string `json:"name"`
+	WallNs int64  `json:"wall_ns"`
+}
+
+// BenchReport is the BENCH_sim.json payload: the simulator-replay
+// matrix plus per-figure wall times. Environment-dependent fields are
+// limited to the Go release so regenerated baselines diff cleanly.
+type BenchReport struct {
+	Schema      string        `json:"schema"`
+	GoVersion   string        `json:"go_version"`
+	Scale       int           `json:"scale"`
+	Cells       []BenchCell   `json:"cells"`
+	Figures     []BenchFigure `json:"figures"`
+	TotalWallNs int64         `json:"total_wall_ns"`
+}
+
+// Bench replays the fixed workload matrix through the cache simulator
+// and times the figure/table pipelines, producing the trajectory
+// numbers future PRs compare against. Programs and blocks default to
+// BenchPrograms/BenchBlocks when nil. Each cell runs under an obs span
+// carrying refs/wall_ns/allocs counters, so a -reportdir manifest
+// records the same numbers as the JSON report.
+func Bench(cfg Config, programs []string, blocks []int64) (*BenchReport, error) {
+	if programs == nil {
+		programs = BenchPrograms
+	}
+	if blocks == nil {
+		blocks = BenchBlocks
+	}
+	ctx := cfg.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	procs := cfg.Fig3Procs
+	if procs <= 0 {
+		procs = 12
+	}
+	rep := &BenchReport{Schema: BenchSchema, GoVersion: runtime.Version(), Scale: cfg.Scale}
+	start := time.Now()
+
+	for _, name := range programs {
+		b := workload.Get(name)
+		if b == nil {
+			return nil, fmt.Errorf("experiments: bench: unknown benchmark %q", name)
+		}
+		// Capture the reference trace once per program (the paper's
+		// stored-trace methodology), then time pure simulator replays.
+		// The base source is used directly — the N version where one
+		// exists, the programmer version otherwise — matching fssim's
+		// -bench behavior.
+		ver := VersionN
+		if b.BaseIsP() {
+			ver = VersionP
+		}
+		prog, err := core.CompileCtx(ctx, b.Source(cfg.Scale), core.Options{Nprocs: procs, BlockSize: blocks[0]})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench: %s: %w", name, err)
+		}
+		bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, procs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench: %s: %w", name, err)
+		}
+		m := vm.New(bc)
+		m.SetContext(ctx)
+		if cfg.StepBudget > 0 {
+			m.MaxInstrs = cfg.StepBudget
+		}
+		refs := make([]vm.Ref, 0, 1<<20)
+		if err := m.Run(func(r vm.Ref) { refs = append(refs, r) }); err != nil {
+			return nil, fmt.Errorf("experiments: bench: %s: %w", name, err)
+		}
+
+		for _, blk := range blocks {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sim, err := cache.New(cache.DefaultConfig(procs, blk))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: bench: %s block %d: %w", name, blk, err)
+			}
+			sp := obs.Begin(fmt.Sprintf("bench:%s:b%d", name, blk))
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			t0 := time.Now()
+			for _, r := range refs {
+				sim.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
+			}
+			wall := time.Since(t0)
+			runtime.ReadMemStats(&ms1)
+			st := sim.Stats()
+			cell := BenchCell{
+				Program: name,
+				Version: string(ver),
+				Procs:   procs,
+				Block:   blk,
+				Refs:    st.Refs,
+				WallNs:  wall.Nanoseconds(),
+			}
+			if st.Refs > 0 {
+				cell.NsPerRef = float64(wall.Nanoseconds()) / float64(st.Refs)
+				cell.AllocsPerRef = float64(ms1.Mallocs-ms0.Mallocs) / float64(st.Refs)
+			}
+			cell.MissRate = st.MissRate()
+			sp.Set("refs", st.Refs)
+			sp.Set("wall_ns", wall.Nanoseconds())
+			sp.Set("allocs", int64(ms1.Mallocs-ms0.Mallocs))
+			sp.End()
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+
+	// End-to-end figure/table pipelines, timed whole: these are the
+	// wall times a contributor actually waits on when regenerating the
+	// evaluation.
+	figures := []struct {
+		name string
+		fn   func() error
+	}{
+		{"fig3", func() error { _, err := Figure3(cfg); return err }},
+		{"table2", func() error { _, err := Table2(cfg); return err }},
+		{"aggregates", func() error { _, err := ComputeAggregates(cfg, 128); return err }},
+	}
+	for _, f := range figures {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sp := obs.Begin("bench:" + f.name)
+		t0 := time.Now()
+		if err := f.fn(); err != nil {
+			sp.End()
+			return nil, fmt.Errorf("experiments: bench: %s: %w", f.name, err)
+		}
+		wall := time.Since(t0)
+		sp.Set("wall_ns", wall.Nanoseconds())
+		sp.End()
+		rep.Figures = append(rep.Figures, BenchFigure{Name: f.name, WallNs: wall.Nanoseconds()})
+	}
+
+	rep.TotalWallNs = time.Since(start).Nanoseconds()
+	return rep, nil
+}
+
+// WriteBenchReport writes the report as indented JSON (the committed
+// BENCH_sim.json baseline format).
+func WriteBenchReport(path string, rep *BenchReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderBench formats the report for the terminal.
+func RenderBench(rep *BenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Simulator replay matrix (%s, scale %d):\n\n", rep.GoVersion, rep.Scale)
+	fmt.Fprintf(&sb, "%-10s %5s %6s %12s %10s %8s %10s\n",
+		"program", "procs", "block", "refs", "ns/ref", "allocs", "missrate")
+	for _, c := range rep.Cells {
+		fmt.Fprintf(&sb, "%-10s %5d %6d %12d %10.1f %8.4f %9.4f%%\n",
+			c.Program, c.Procs, c.Block, c.Refs, c.NsPerRef, c.AllocsPerRef, 100*c.MissRate)
+	}
+	sb.WriteString("\nFigure pipelines:\n")
+	for _, f := range rep.Figures {
+		fmt.Fprintf(&sb, "  %-12s %8.2fs\n", f.Name, float64(f.WallNs)/1e9)
+	}
+	fmt.Fprintf(&sb, "  %-12s %8.2fs\n", "total", float64(rep.TotalWallNs)/1e9)
+	return sb.String()
+}

@@ -188,7 +188,10 @@ func MeasureBlocksCtx(ctx context.Context, prog *core.Program, blocks []int64, w
 	}
 	sims := make([]*cache.Sim, len(blocks))
 	for i, blk := range blocks {
-		sims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
+		sims[i], err = cache.New(cache.DefaultConfig(nprocs, blk))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: MeasureBlocks: block %d: %w", blk, err)
+		}
 	}
 	m := vm.New(bc)
 	m.SetContext(ctx)

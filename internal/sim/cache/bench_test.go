@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchTrace builds a deterministic mixed workload shaped like the
+// real benchmarks: per-processor hot regions with a shared heap,
+// ~30% writes, a sprinkle of block-spanning doubles. Length is a
+// power of two so replay can index with a mask.
+func benchTrace(nprocs, n int) []traceRef {
+	return genTrace(0xbe7c4, nprocs, n)
+}
+
+// BenchmarkAccess measures the simulator hot path: one Sim.Access per
+// op on a 12-processor, 64-byte-block configuration. This is the
+// number the BENCH_sim.json trajectory tracks as ns/ref — the paper's
+// whole evaluation is tens of millions of these calls.
+func BenchmarkAccess(b *testing.B) {
+	for _, blk := range []int64{16, 64, 256} {
+		b.Run(fmt.Sprintf("b%d", blk), func(b *testing.B) {
+			s := mustNew(b, DefaultConfig(12, blk))
+			tr := benchTrace(12, 1<<16)
+			mask := len(tr) - 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := tr[i&mask]
+				s.Access(r.proc, r.addr, r.size, r.write)
+			}
+		})
+	}
+}
+
+// BenchmarkAccessWordInvalidate is BenchmarkAccess under the Dubois
+// per-word-invalidation protocol (the §6 hardware ablation).
+func BenchmarkAccessWordInvalidate(b *testing.B) {
+	cfg := DefaultConfig(12, 128)
+	cfg.WordInvalidate = true
+	s := mustNew(b, cfg)
+	tr := benchTrace(12, 1<<16)
+	mask := len(tr) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := tr[i&mask]
+		s.Access(r.proc, r.addr, r.size, r.write)
+	}
+}
+
+// BenchmarkAccessReference replays BenchmarkAccess's exact workload
+// through the retired map-based implementation (refsim_test.go), so
+// `benchstat` on the two series shows what the flat paged tables buy.
+func BenchmarkAccessReference(b *testing.B) {
+	for _, blk := range []int64{16, 64, 256} {
+		b.Run(fmt.Sprintf("b%d", blk), func(b *testing.B) {
+			s := newRefSim(DefaultConfig(12, blk))
+			tr := benchTrace(12, 1<<16)
+			mask := len(tr) - 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := tr[i&mask]
+				s.Access(r.proc, r.addr, r.size, r.write)
+			}
+		})
+	}
+}
+
+// BenchmarkSweep measures the block-size-sweep shape every figure
+// uses: the same reference fed to one simulator per block size
+// (16/64/128/256), as MeasureBlocks does on its serial path. One op =
+// one reference through all four simulators.
+func BenchmarkSweep(b *testing.B) {
+	blocks := []int64{16, 64, 128, 256}
+	sims := make([]*Sim, len(blocks))
+	for i, blk := range blocks {
+		sims[i] = mustNew(b, DefaultConfig(12, blk))
+	}
+	tr := benchTrace(12, 1<<16)
+	mask := len(tr) - 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := tr[i&mask]
+		for _, s := range sims {
+			s.Access(r.proc, r.addr, r.size, r.write)
+		}
+	}
+}

@@ -18,10 +18,20 @@
 //
 // This follows the classification used by Eggers/Jeremiassen and
 // Torrellas et al.
+//
+// The per-reference bookkeeping is kept in flat paged tables rather
+// than hash maps: every figure and table of the paper is produced by
+// replaying tens of millions of references through Access, so the
+// classification state (per-processor block metadata, per-word last
+// writer/time) is indexed directly by block and word number through a
+// two-level page directory. Pages are allocated on first touch and
+// metadata is stored by value, so the steady-state hot path performs
+// no hashing and no allocation.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -31,9 +41,9 @@ const WordSize = 4
 // Config describes one simulated cache configuration.
 type Config struct {
 	NumProcs  int
-	BlockSize int64 // bytes, power of two, 4..256
+	BlockSize int64 // bytes, power of two, >= 4 (<= 256 with WordInvalidate)
 	CacheSize int64 // per-processor first-level cache, bytes
-	Assoc     int   // set associativity (LRU)
+	Assoc     int   // set associativity (LRU); <= 0 defaults to 4
 
 	// WordInvalidate models the hardware alternative of Dubois et al.
 	// (paper §6): writes invalidate remote copies at word rather than
@@ -45,13 +55,59 @@ type Config struct {
 	WordInvalidate bool
 }
 
+// ConfigError reports an invalid simulator configuration, naming the
+// offending field.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("cache: invalid config: %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks the configuration the way New does. A non-power-of-
+// two BlockSize would miscompute the block shift, so every addr>>shift
+// block number — and with it every classification — would be garbage;
+// a block larger than 64 words would overflow the per-word uint64
+// invalidation mask in WordInvalidate mode. Both are rejected here
+// rather than silently producing wrong data. Assoc 0 is allowed (New
+// defaults it to 4).
+func (c Config) Validate() error {
+	if c.NumProcs < 1 {
+		return &ConfigError{"NumProcs", fmt.Sprintf("must be >= 1 (got %d)", c.NumProcs)}
+	}
+	if c.BlockSize < WordSize {
+		return &ConfigError{"BlockSize", fmt.Sprintf("must be >= %d bytes (got %d)", WordSize, c.BlockSize)}
+	}
+	if c.BlockSize&(c.BlockSize-1) != 0 {
+		return &ConfigError{"BlockSize", fmt.Sprintf("must be a power of two (got %d)", c.BlockSize)}
+	}
+	if c.WordInvalidate && c.BlockSize > 64*WordSize {
+		return &ConfigError{"BlockSize", fmt.Sprintf(
+			"word-invalidate mode tracks at most 64 words per block (%d bytes); got %d",
+			64*WordSize, c.BlockSize)}
+	}
+	if c.CacheSize < c.BlockSize {
+		return &ConfigError{"CacheSize", fmt.Sprintf("must hold at least one block (%d bytes); got %d", c.BlockSize, c.CacheSize)}
+	}
+	if c.Assoc < 0 {
+		return &ConfigError{"Assoc", fmt.Sprintf("must be >= 0 (got %d)", c.Assoc)}
+	}
+	return nil
+}
+
 // DefaultConfig is the paper's simulated machine: 32 KB first-level
 // caches (infinite second level) with the given block size.
 func DefaultConfig(nprocs int, blockSize int64) Config {
 	return Config{NumProcs: nprocs, BlockSize: blockSize, CacheSize: 32 * 1024, Assoc: 4}
 }
 
-// MissKind classifies one reference's outcome.
+// MissKind classifies one reference's outcome. The order is the
+// severity order Access uses for block-spanning references: sharing
+// misses rank above replacement and cold, and false sharing — the
+// avoidable class this whole system exists to eliminate — ranks above
+// true sharing.
 type MissKind int
 
 const (
@@ -190,12 +246,222 @@ const (
 )
 
 // blockMeta tracks why a processor lost a block, for classification.
+// Stored by value inside metaTable pages.
 type blockMeta struct {
+	lostAt    int64
 	seen      bool
 	resident  bool
 	lostByInv bool
-	lostAt    int64
-	wayHint   int32
+}
+
+// wordStamp records the last write to one word: who wrote it and the
+// simulator time of the write. The time doubles as the validity epoch:
+// the zero value (time 0) means "never written", and every real write
+// carries a time >= 1, so pages need no separate initialization or
+// clearing when they are first touched.
+type wordStamp struct {
+	time   int64
+	writer int32
+}
+
+// The page tables below replace the map[int64] bookkeeping of earlier
+// versions. Both are two-level structures: a directory of fixed-size
+// pages indexed by (key >> pageShift), with the page entry picked by
+// the low bits. The directory is a plain slice for the dense low range
+// every real trace lives in; page indices beyond maxDirectPages — or
+// negative ones, which only corrupted replay traces produce — fall
+// back to a small overflow map so a single wild address cannot force a
+// giant directory allocation.
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift // entries per page
+	pageMask  = pageSize - 1
+
+	// maxDirectPages bounds the slice directory: 64K pages × 4K
+	// entries covers the first 256M blocks/words (a 4 GB address
+	// space at the smallest block size) with direct indexing.
+	maxDirectPages = 1 << 16
+)
+
+type metaPage [pageSize]blockMeta
+
+// metaTable is one processor's block-number → blockMeta table.
+type metaTable struct {
+	pages    []*metaPage
+	overflow map[int64]*metaPage
+}
+
+// at returns the metadata slot for a block, allocating its page on
+// first touch. The fast path is two bounds checks and two indexed
+// loads; the returned pointer stays valid forever (pages are never
+// moved or freed).
+func (t *metaTable) at(block int64) *blockMeta {
+	pi := block >> pageShift
+	if uint64(pi) < uint64(len(t.pages)) {
+		if p := t.pages[pi]; p != nil {
+			return &p[block&pageMask]
+		}
+	}
+	return t.slow(block, pi)
+}
+
+func (t *metaTable) slow(block, pi int64) *blockMeta {
+	if pi >= 0 && pi < maxDirectPages {
+		if pi >= int64(len(t.pages)) {
+			pages := make([]*metaPage, pi+1)
+			copy(pages, t.pages)
+			t.pages = pages
+		}
+		p := t.pages[pi]
+		if p == nil {
+			p = new(metaPage)
+			t.pages[pi] = p
+		}
+		return &p[block&pageMask]
+	}
+	if t.overflow == nil {
+		t.overflow = make(map[int64]*metaPage)
+	}
+	p := t.overflow[pi]
+	if p == nil {
+		p = new(metaPage)
+		t.overflow[pi] = p
+	}
+	return &p[block&pageMask]
+}
+
+type wordPage [pageSize]wordStamp
+
+// wordTable is the global word-number → last-writer table.
+type wordTable struct {
+	pages    []*wordPage
+	overflow map[int64]*wordPage
+}
+
+// at returns the stamp slot for a word, allocating its page on first
+// touch (used on the write path).
+func (t *wordTable) at(word int64) *wordStamp {
+	pi := word >> pageShift
+	if uint64(pi) < uint64(len(t.pages)) {
+		if p := t.pages[pi]; p != nil {
+			return &p[word&pageMask]
+		}
+	}
+	return t.slow(word, pi)
+}
+
+func (t *wordTable) slow(word, pi int64) *wordStamp {
+	if pi >= 0 && pi < maxDirectPages {
+		if pi >= int64(len(t.pages)) {
+			pages := make([]*wordPage, pi+1)
+			copy(pages, t.pages)
+			t.pages = pages
+		}
+		p := t.pages[pi]
+		if p == nil {
+			p = new(wordPage)
+			t.pages[pi] = p
+		}
+		return &p[word&pageMask]
+	}
+	if t.overflow == nil {
+		t.overflow = make(map[int64]*wordPage)
+	}
+	p := t.overflow[pi]
+	if p == nil {
+		p = new(wordPage)
+		t.overflow[pi] = p
+	}
+	return &p[word&pageMask]
+}
+
+// get returns the stamp for a word without allocating: words never
+// written read as the zero stamp (used on the classification path, so
+// classifying misses over cold regions costs no memory).
+func (t *wordTable) get(word int64) wordStamp {
+	pi := word >> pageShift
+	if uint64(pi) < uint64(len(t.pages)) {
+		if p := t.pages[pi]; p != nil {
+			return p[word&pageMask]
+		}
+		return wordStamp{}
+	}
+	if t.overflow != nil {
+		if p := t.overflow[pi]; p != nil {
+			return p[word&pageMask]
+		}
+	}
+	return wordStamp{}
+}
+
+type sharerPage [pageSize]uint64
+
+// sharerTable is a directory-style presence vector: for each block, a
+// bitmask of the processors whose cache currently holds a valid copy.
+// It turns the coherence broadcasts — "who else holds this block?",
+// "invalidate every other copy" — from O(nprocs × assoc) tag scans
+// into a single load plus a walk over the set bits, which on real
+// traces is almost always zero or one sharer. Only usable when
+// NumProcs fits a uint64; wider configurations fall back to scanning.
+type sharerTable struct {
+	pages    []*sharerPage
+	overflow map[int64]*sharerPage
+}
+
+// at returns the mask slot for a block, allocating its page on first
+// touch (used when the mask is mutated: fills, evictions,
+// invalidations).
+func (t *sharerTable) at(block int64) *uint64 {
+	pi := block >> pageShift
+	if uint64(pi) < uint64(len(t.pages)) {
+		if p := t.pages[pi]; p != nil {
+			return &p[block&pageMask]
+		}
+	}
+	return t.slow(block, pi)
+}
+
+func (t *sharerTable) slow(block, pi int64) *uint64 {
+	if pi >= 0 && pi < maxDirectPages {
+		if pi >= int64(len(t.pages)) {
+			pages := make([]*sharerPage, pi+1)
+			copy(pages, t.pages)
+			t.pages = pages
+		}
+		p := t.pages[pi]
+		if p == nil {
+			p = new(sharerPage)
+			t.pages[pi] = p
+		}
+		return &p[block&pageMask]
+	}
+	if t.overflow == nil {
+		t.overflow = make(map[int64]*sharerPage)
+	}
+	p := t.overflow[pi]
+	if p == nil {
+		p = new(sharerPage)
+		t.overflow[pi] = p
+	}
+	return &p[block&pageMask]
+}
+
+// get returns the mask without allocating: blocks never cached read as
+// zero (no sharers).
+func (t *sharerTable) get(block int64) uint64 {
+	pi := block >> pageShift
+	if uint64(pi) < uint64(len(t.pages)) {
+		if p := t.pages[pi]; p != nil {
+			return p[block&pageMask]
+		}
+		return 0
+	}
+	if t.overflow != nil {
+		if p := t.overflow[pi]; p != nil {
+			return p[block&pageMask]
+		}
+	}
+	return 0
 }
 
 // Sim is the multiprocessor cache simulator.
@@ -204,13 +470,20 @@ type Sim struct {
 	nsets    int64
 	blkShift uint
 	setMask  int64
+	assoc    int64 // cfg.Assoc, precomputed as int64 for set-base math
 
-	caches [][]line // [proc][set*assoc+way]
-	meta   []map[int64]*blockMeta
+	caches [][]line    // [proc][set*assoc+way]
+	meta   []metaTable // [proc] block classification state
 
-	// wordWriter/wordTime record the last writer and time per word.
-	wordWriter map[int64]int32
-	wordTime   map[int64]int64
+	// words records the last writer and time per word.
+	words wordTable
+
+	// sharers tracks which processors hold each block (see
+	// sharerTable). wideProcs marks configurations with more than 64
+	// processors, where the mask cannot represent every sharer and the
+	// coherence paths fall back to full tag scans.
+	sharers   sharerTable
+	wideProcs bool
 
 	time  int64
 	stats Stats
@@ -222,10 +495,15 @@ type Sim struct {
 	sampler     func(*Stats)
 }
 
-// New builds a simulator.
-func New(cfg Config) *Sim {
-	if cfg.Assoc <= 0 {
+// New builds a simulator. The configuration is validated first (see
+// Config.Validate); an invalid one returns a *ConfigError instead of a
+// simulator that silently misclassifies every reference.
+func New(cfg Config) (*Sim, error) {
+	if cfg.Assoc == 0 {
 		cfg.Assoc = 4
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	nsets := cfg.CacheSize / (cfg.BlockSize * int64(cfg.Assoc))
 	if nsets < 1 {
@@ -236,20 +514,19 @@ func New(cfg Config) *Sim {
 		nsets &= nsets - 1
 	}
 	s := &Sim{
-		cfg:        cfg,
-		nsets:      nsets,
-		setMask:    nsets - 1,
-		wordWriter: map[int64]int32{},
-		wordTime:   map[int64]int64{},
+		cfg:       cfg,
+		nsets:     nsets,
+		setMask:   nsets - 1,
+		assoc:     int64(cfg.Assoc),
+		wideProcs: cfg.NumProcs > 64,
 	}
 	for b := cfg.BlockSize; b > 1; b >>= 1 {
 		s.blkShift++
 	}
 	s.caches = make([][]line, cfg.NumProcs)
-	s.meta = make([]map[int64]*blockMeta, cfg.NumProcs)
+	s.meta = make([]metaTable, cfg.NumProcs)
 	for p := 0; p < cfg.NumProcs; p++ {
 		s.caches[p] = make([]line, nsets*int64(cfg.Assoc))
-		s.meta[p] = map[int64]*blockMeta{}
 	}
 	s.stats.Config = cfg
 	s.stats.ProcRefs = make([]int64, cfg.NumProcs)
@@ -259,7 +536,7 @@ func New(cfg Config) *Sim {
 	s.stats.ProcTS = make([]int64, cfg.NumProcs)
 	s.stats.ProcFS = make([]int64, cfg.NumProcs)
 	s.stats.ProcRemote = make([]int64, cfg.NumProcs)
-	return s
+	return s, nil
 }
 
 // Stats returns the accumulated statistics.
@@ -276,17 +553,24 @@ func (s *Sim) SetSampler(n int64, fn func(*Stats)) {
 
 // Access simulates one memory reference, splitting it at block
 // boundaries if necessary (an 8-byte access with 4-byte blocks spans
-// two blocks), and returns the classification of its first block.
+// two blocks). Stats count every sub-block access individually; the
+// returned classification is the most severe one across the
+// sub-blocks in MissKind order (Hit < Cold < Replacement <
+// TrueSharing < FalseSharing), so a caller tallying return values
+// sees a sharing miss whenever any part of the reference incurred
+// one.
 func (s *Sim) Access(proc int, addr int64, size int64, write bool) MissKind {
-	first := s.accessBlock(proc, addr, min64(size, s.cfg.BlockSize-addr%s.cfg.BlockSize), write)
+	worst := s.accessBlock(proc, addr, min64(size, s.cfg.BlockSize-addr%s.cfg.BlockSize), write)
 	end := addr + size
 	next := (addr>>s.blkShift + 1) << s.blkShift
 	for next < end {
 		n := min64(end-next, s.cfg.BlockSize)
-		s.accessBlock(proc, next, n, write)
+		if k := s.accessBlock(proc, next, n, write); k > worst {
+			worst = k
+		}
 		next += s.cfg.BlockSize
 	}
-	return first
+	return worst
 }
 
 func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
@@ -303,8 +587,8 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	}
 
 	block := addr >> s.blkShift
-	set := block & s.setMask
-	ways := s.caches[proc][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+	base := (block & s.setMask) * s.assoc
+	ways := s.caches[proc][base : base+s.assoc]
 
 	// Lookup.
 	hitWay := -1
@@ -357,7 +641,7 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	}
 
 	// Miss: classify.
-	bm := s.blockMeta(proc, block)
+	bm := s.meta[proc].at(block)
 	switch {
 	case !bm.seen:
 		kind = Cold
@@ -397,11 +681,14 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	if ways[victim].valid {
 		// Record eviction of the old block.
 		old := ways[victim].tag
-		obm := s.blockMeta(proc, old)
+		obm := s.meta[proc].at(old)
 		if obm.resident {
 			obm.resident = false
 			obm.lostByInv = false
 			obm.lostAt = s.time
+		}
+		if !s.wideProcs {
+			*s.sharers.at(old) &^= 1 << uint(proc)
 		}
 	}
 	st := stateShared
@@ -414,9 +701,11 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 		s.recordWrite(proc, addr, size)
 	}
 	ways[victim] = line{tag: block, valid: true, state: st, lru: s.time}
+	if !s.wideProcs {
+		*s.sharers.at(block) |= 1 << uint(proc)
+	}
 	bm.seen = true
 	bm.resident = true
-	bm.wayHint = int32(victim)
 	return kind
 }
 
@@ -431,17 +720,37 @@ func (s *Sim) invalidateOthers(proc int, block int64) {
 		// words are invalidated by invalidateWords).
 		return
 	}
-	set := block & s.setMask
+	base := (block & s.setMask) * s.assoc
+	if !s.wideProcs {
+		mp := s.sharers.at(block)
+		others := *mp &^ (1 << uint(proc))
+		for m := others; m != 0; m &= m - 1 {
+			p := bits.TrailingZeros64(m)
+			ways := s.caches[p][base : base+s.assoc]
+			for w := range ways {
+				if ways[w].valid && ways[w].tag == block {
+					ways[w].valid = false
+					s.stats.Invalidations++
+					bm := s.meta[p].at(block)
+					bm.resident = false
+					bm.lostByInv = true
+					bm.lostAt = s.time
+				}
+			}
+		}
+		*mp &^= others
+		return
+	}
 	for p := 0; p < s.cfg.NumProcs; p++ {
 		if p == proc {
 			continue
 		}
-		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		ways := s.caches[p][base : base+s.assoc]
 		for w := range ways {
 			if ways[w].valid && ways[w].tag == block {
 				ways[w].valid = false
 				s.stats.Invalidations++
-				bm := s.blockMeta(p, block)
+				bm := s.meta[p].at(block)
 				bm.resident = false
 				bm.lostByInv = true
 				bm.lostAt = s.time
@@ -466,19 +775,37 @@ func (s *Sim) wordBits(addr, size int64) uint64 {
 // invalidateWords marks the written words invalid in every other
 // cache holding the block (WordInvalidate mode).
 func (s *Sim) invalidateWords(proc int, block, addr, size int64) {
-	bits := s.wordBits(addr, size)
-	set := block & s.setMask
+	wbits := s.wordBits(addr, size)
+	base := (block & s.setMask) * s.assoc
+	if !s.wideProcs {
+		// Copies stay resident (only the written words are masked), so
+		// the sharer set is read, not cleared.
+		others := s.sharers.get(block) &^ (1 << uint(proc))
+		for m := others; m != 0; m &= m - 1 {
+			p := bits.TrailingZeros64(m)
+			ways := s.caches[p][base : base+s.assoc]
+			for w := range ways {
+				if ways[w].valid && ways[w].tag == block {
+					if ways[w].invMask&wbits != wbits {
+						s.stats.Invalidations++
+					}
+					ways[w].invMask |= wbits
+				}
+			}
+		}
+		return
+	}
 	for p := 0; p < s.cfg.NumProcs; p++ {
 		if p == proc {
 			continue
 		}
-		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		ways := s.caches[p][base : base+s.assoc]
 		for w := range ways {
 			if ways[w].valid && ways[w].tag == block {
-				if ways[w].invMask&bits != bits {
+				if ways[w].invMask&wbits != wbits {
 					s.stats.Invalidations++
 				}
-				ways[w].invMask |= bits
+				ways[w].invMask |= wbits
 			}
 		}
 	}
@@ -487,12 +814,15 @@ func (s *Sim) invalidateWords(proc int, block, addr, size int64) {
 // heldElsewhere reports whether another processor's cache holds the
 // block (the miss would be serviced cache-to-cache on the KSR).
 func (s *Sim) heldElsewhere(proc int, block int64) bool {
-	set := block & s.setMask
+	if !s.wideProcs {
+		return s.sharers.get(block)&^(1<<uint(proc)) != 0
+	}
+	base := (block & s.setMask) * s.assoc
 	for p := 0; p < s.cfg.NumProcs; p++ {
 		if p == proc {
 			continue
 		}
-		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		ways := s.caches[p][base : base+s.assoc]
 		for w := range ways {
 			if ways[w].valid && ways[w].tag == block {
 				return true
@@ -505,8 +835,9 @@ func (s *Sim) heldElsewhere(proc int, block int64) bool {
 // recordWrite stamps the words covered by a write.
 func (s *Sim) recordWrite(proc int, addr, size int64) {
 	for w := addr / WordSize; w <= (addr+size-1)/WordSize; w++ {
-		s.wordWriter[w] = int32(proc)
-		s.wordTime[w] = s.time
+		st := s.words.at(w)
+		st.time = s.time
+		st.writer = int32(proc)
 	}
 }
 
@@ -514,20 +845,11 @@ func (s *Sim) recordWrite(proc int, addr, size int64) {
 // addr+size) was written by a processor other than proc at or after t.
 func (s *Sim) modifiedByOtherSince(proc int, addr, size, t int64) bool {
 	for w := addr / WordSize; w <= (addr+size-1)/WordSize; w++ {
-		if s.wordTime[w] >= t && s.wordWriter[w] != int32(proc) {
+		if st := s.words.get(w); st.time >= t && st.writer != int32(proc) {
 			return true
 		}
 	}
 	return false
-}
-
-func (s *Sim) blockMeta(proc int, block int64) *blockMeta {
-	bm := s.meta[proc][block]
-	if bm == nil {
-		bm = &blockMeta{}
-		s.meta[proc][block] = bm
-	}
-	return bm
 }
 
 func min64(a, b int64) int64 {

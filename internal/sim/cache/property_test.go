@@ -74,7 +74,7 @@ func TestPerProcMissTaxonomyInvariant(t *testing.T) {
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
 			rng := rand.New(rand.NewSource(0x5eed + int64(len(sc.name))))
-			s := New(sc.cfg)
+			s := mustNew(t, sc.cfg)
 			for i := 0; i < sc.refs; i++ {
 				proc := rng.Intn(sc.cfg.NumProcs)
 				if rng.Intn(4) == 0 {
@@ -106,7 +106,7 @@ func TestPerProcMissTaxonomyInvariant(t *testing.T) {
 func TestPerProcInvariantSharedCounters(t *testing.T) {
 	gen := func() *Stats {
 		rng := rand.New(rand.NewSource(42))
-		s := New(Config{NumProcs: 5, BlockSize: 64, CacheSize: 2048, Assoc: 2})
+		s := mustNew(t, Config{NumProcs: 5, BlockSize: 64, CacheSize: 2048, Assoc: 2})
 		for i := 0; i < 30000; i++ {
 			s.Access(rng.Intn(5), rng.Int63n(16*1024)&^3, 4, rng.Intn(2) == 0)
 		}

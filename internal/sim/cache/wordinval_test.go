@@ -7,16 +7,16 @@ import (
 	"testing/quick"
 )
 
-func wiSim(nprocs int, block int64) *Sim {
+func wiSim(t testing.TB, nprocs int, block int64) *Sim {
 	cfg := DefaultConfig(nprocs, block)
 	cfg.WordInvalidate = true
-	return New(cfg)
+	return mustNew(t, cfg)
 }
 
 func TestWordInvalidateKillsFalseSharing(t *testing.T) {
 	// The Dubois-style hardware: the FS ping-pong pattern produces no
 	// misses at all after warmup.
-	s := wiSim(2, 64)
+	s := wiSim(t, 2, 64)
 	for i := 0; i < 1000; i++ {
 		s.Access(0, 0x1000, 4, true)
 		s.Access(1, 0x1004, 4, true)
@@ -32,7 +32,7 @@ func TestWordInvalidateKillsFalseSharing(t *testing.T) {
 }
 
 func TestWordInvalidateKeepsTrueSharing(t *testing.T) {
-	s := wiSim(2, 64)
+	s := wiSim(t, 2, 64)
 	s.Access(0, 0x1000, 4, false) // P0 caches the word
 	s.Access(1, 0x1000, 4, true)  // P1 writes it
 	if k := s.Access(0, 0x1000, 4, false); k != TrueSharing {
@@ -41,7 +41,7 @@ func TestWordInvalidateKeepsTrueSharing(t *testing.T) {
 }
 
 func TestWordInvalidateRefetchClears(t *testing.T) {
-	s := wiSim(2, 64)
+	s := wiSim(t, 2, 64)
 	s.Access(0, 0x1000, 4, false)
 	s.Access(1, 0x1000, 4, true)
 	s.Access(0, 0x1000, 4, false) // true-sharing miss, refetch
@@ -51,7 +51,7 @@ func TestWordInvalidateRefetchClears(t *testing.T) {
 }
 
 func TestWordInvalidateDoubleSpansWords(t *testing.T) {
-	s := wiSim(2, 64)
+	s := wiSim(t, 2, 64)
 	s.Access(0, 0x1000, 8, false)
 	s.Access(1, 0x1004, 4, true) // writes the second word of the double
 	if k := s.Access(0, 0x1000, 8, false); k != TrueSharing {
@@ -64,7 +64,7 @@ func TestProtocolInvariants(t *testing.T) {
 	run := func(seed int64, wordInval bool, nprocs int, block int64) *Stats {
 		cfg := DefaultConfig(nprocs, block)
 		cfg.WordInvalidate = wordInval
-		s := New(cfg)
+		s := mustNew(t, cfg)
 		r := rand.New(rand.NewSource(seed))
 		for i := 0; i < 3000; i++ {
 			proc := r.Intn(nprocs)
@@ -111,7 +111,7 @@ func TestProtocolInvariants(t *testing.T) {
 // Determinism: identical traces produce identical statistics.
 func TestDeterminism(t *testing.T) {
 	mk := func() *Stats {
-		s := sim(4, 64)
+		s := sim(t, 4, 64)
 		r := rand.New(rand.NewSource(7))
 		for i := 0; i < 5000; i++ {
 			s.Access(r.Intn(4), 0x1000+int64(r.Intn(256))*4, 4, r.Intn(2) == 0)

@@ -101,12 +101,15 @@ func ExecuteCtx(ctx context.Context, prog *core.Program, cfg Config) (*Result, e
 	if cfg.StepBudget > 0 {
 		m.MaxInstrs = cfg.StepBudget
 	}
-	sim := cache.New(cache.Config{
+	sim, err := cache.New(cache.Config{
 		NumProcs:  nprocs,
 		BlockSize: cfg.BlockSize,
 		CacheSize: cfg.CacheSize,
 		Assoc:     cfg.Assoc,
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	snap := func() phaseSnapshot {
 		st := sim.Stats()

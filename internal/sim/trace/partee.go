@@ -62,8 +62,23 @@ func NewParTee(batch int, sinks ...Sink) *ParTee {
 
 // SetSpan attaches an observability span to worker i; the worker
 // stamps it with refs/batches counters and ends it when the stream
-// closes. Call before feeding references.
-func (t *ParTee) SetSpan(i int, s *obs.Span) { t.spans[i] = s }
+// closes. Call before feeding references. Workers are already running
+// when SetSpan is called (NewParTee starts them), and a worker whose
+// fault point fires at startup touches its span immediately, so span
+// slots are accessed under the ParTee mutex on both sides.
+func (t *ParTee) SetSpan(i int, s *obs.Span) {
+	t.mu.Lock()
+	t.spans[i] = s
+	t.mu.Unlock()
+}
+
+// span reads worker i's span slot under the lock (nil-safe: obs spans
+// accept calls on nil).
+func (t *ParTee) span(i int) *obs.Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans[i]
+}
 
 func (t *ParTee) worker(i int) {
 	defer t.wg.Done()
@@ -72,7 +87,7 @@ func (t *ParTee) worker(i int) {
 		t.mu.Lock()
 		t.failures = append(t.failures, err)
 		t.mu.Unlock()
-		t.spans[i].Fail(err)
+		t.span(i).Fail(err)
 		for range t.chans[i] {
 			// Drain so the producer never blocks on a dead worker.
 		}
@@ -81,7 +96,7 @@ func (t *ParTee) worker(i int) {
 		if p := recover(); p != nil {
 			fail(fmt.Errorf("trace: sink %d panicked: %v\n%s", i, p, debug.Stack()))
 		}
-		sp := t.spans[i]
+		sp := t.span(i)
 		sp.Set("refs", refs)
 		sp.Set("batches", batches)
 		sp.End()

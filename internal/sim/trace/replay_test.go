@@ -36,12 +36,15 @@ func TestReplayFidelity(t *testing.T) {
 	liveSims := make([]*cache.Sim, len(blocks))
 	sinks := make([]trace.Sink, 0, len(blocks)+1)
 	for i, blk := range blocks {
-		liveSims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
+		liveSims[i], err = cache.New(cache.DefaultConfig(nprocs, blk))
+		if err != nil {
+			t.Fatal(err)
+		}
 		s := liveSims[i]
 		sinks = append(sinks, func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) })
 	}
 	var buf bytes.Buffer
-	tw := trace.NewWriter(&buf)
+	tw := trace.NewWriter(&buf, nprocs)
 	sinks = append(sinks, tw.Sink())
 	if err := vm.New(bc).Run(trace.Tee(sinks...)); err != nil {
 		t.Fatal(err)
@@ -58,7 +61,11 @@ func TestReplayFidelity(t *testing.T) {
 	replaySims := make([]*cache.Sim, len(blocks))
 	replaySinks := make([]trace.Sink, len(blocks))
 	for i, blk := range blocks {
-		replaySims[i] = cache.New(cache.DefaultConfig(nprocs, blk))
+		var err error
+		replaySims[i], err = cache.New(cache.DefaultConfig(nprocs, blk))
+		if err != nil {
+			t.Fatal(err)
+		}
 		s := replaySims[i]
 		replaySinks[i] = func(r vm.Ref) { s.Access(r.Proc, r.Addr, int64(r.Size), r.Write) }
 	}

@@ -75,15 +75,35 @@ func (c *Counter) String() string {
 }
 
 // ---------------------------------------------------------------------------
-// Binary format: a fixed 14-byte little-endian record per reference:
+// Binary format: an 8-byte little-endian header
+//
+//	magic    [4]byte "FSTR"
+//	version  uint8   (currently 1)
+//	reserved uint8
+//	nprocs   uint16  (process count of the capture)
+//
+// followed by a fixed 14-byte little-endian record per reference:
 //
 //	proc  uint16
 //	addr  uint64
 //	size  uint8
 //	write uint8 (0/1)
 //	pad   2 bytes (record alignment / future flags)
+//
+// Traces written before the header existed start directly with
+// records; Reader detects those by the missing magic and replays them
+// without per-record process validation. (The detection cannot
+// misfire: a legacy record starting with "FSTR" would claim process
+// 0x5346 = 21318, far beyond any simulated machine.)
 
-const recordSize = 14
+const (
+	recordSize = 14
+	headerSize = 8
+
+	formatVersion = 1
+)
+
+var magic = [4]byte{'F', 'S', 'T', 'R'}
 
 // Writer streams references into an io.Writer.
 type Writer struct {
@@ -92,9 +112,17 @@ type Writer struct {
 	err error
 }
 
-// NewWriter wraps w.
-func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+// NewWriter wraps w and emits the trace header recording the capture's
+// process count. Header write errors surface on the first Write or
+// Flush.
+func NewWriter(w io.Writer, nprocs int) *Writer {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = formatVersion
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(nprocs))
+	_, tw.err = tw.w.Write(hdr[:])
+	return tw
 }
 
 // Sink returns a sink writing every reference.
@@ -129,9 +157,15 @@ func (tw *Writer) Flush() (int64, error) {
 	return tw.n, tw.w.Flush()
 }
 
-// Reader decodes a stored trace.
+// Reader decodes a stored trace, validating each record so that a
+// corrupted or mismatched file fails with a descriptive error here
+// instead of an index panic deep inside the simulator.
 type Reader struct {
-	r *bufio.Reader
+	r      *bufio.Reader
+	nprocs int   // from the header; 0 for legacy headerless traces
+	n      int64 // records decoded, for error messages
+	gotHdr bool
+	hdrErr error
 }
 
 // NewReader wraps r.
@@ -139,21 +173,75 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
 }
 
-// Next returns the next reference; io.EOF ends the stream.
+// readHeader consumes the header if the stream starts with the format
+// magic; headerless legacy streams are left untouched with nprocs 0.
+func (tr *Reader) readHeader() error {
+	if tr.gotHdr {
+		return tr.hdrErr
+	}
+	tr.gotHdr = true
+	pk, err := tr.r.Peek(len(magic))
+	if len(pk) < len(magic) || [4]byte(pk) != magic {
+		// Legacy stream (or one too short to hold a header): records
+		// begin immediately. Read errors, including io.EOF on an empty
+		// stream, resurface from the first record read.
+		_ = err
+		return nil
+	}
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+		tr.hdrErr = fmt.Errorf("trace: truncated header")
+		return tr.hdrErr
+	}
+	if hdr[4] != formatVersion {
+		tr.hdrErr = fmt.Errorf("trace: unsupported format version %d (want %d)", hdr[4], formatVersion)
+		return tr.hdrErr
+	}
+	tr.nprocs = int(binary.LittleEndian.Uint16(hdr[6:]))
+	if tr.nprocs < 1 {
+		tr.hdrErr = fmt.Errorf("trace: header declares %d processors", tr.nprocs)
+		return tr.hdrErr
+	}
+	return nil
+}
+
+// Nprocs reports the process count declared by the trace header, or 0
+// for legacy headerless traces. (Any header error is also returned by
+// the first Next.)
+func (tr *Reader) Nprocs() int {
+	_ = tr.readHeader()
+	return tr.nprocs
+}
+
+// Next returns the next reference; io.EOF ends the stream. Records
+// naming a process outside the header's range, or with a non-positive
+// size, yield an error identifying the offending record.
 func (tr *Reader) Next() (vm.Ref, error) {
+	if err := tr.readHeader(); err != nil {
+		return vm.Ref{}, err
+	}
 	var buf [recordSize]byte
 	if _, err := io.ReadFull(tr.r, buf[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
-			return vm.Ref{}, fmt.Errorf("trace: truncated record")
+			return vm.Ref{}, fmt.Errorf("trace: record %d: truncated", tr.n+1)
 		}
 		return vm.Ref{}, err
 	}
-	return vm.Ref{
+	tr.n++
+	r := vm.Ref{
 		Proc:  int(binary.LittleEndian.Uint16(buf[0:])),
 		Addr:  int64(binary.LittleEndian.Uint64(buf[2:])),
 		Size:  int8(buf[10]),
 		Write: buf[11] != 0,
-	}, nil
+	}
+	if tr.nprocs > 0 && r.Proc >= tr.nprocs {
+		return vm.Ref{}, fmt.Errorf("trace: record %d: proc %d out of range (header declares %d processors)",
+			tr.n, r.Proc, tr.nprocs)
+	}
+	if r.Size < 1 {
+		return vm.Ref{}, fmt.Errorf("trace: record %d: invalid size %d", tr.n, buf[10])
+	}
+	return r, nil
 }
 
 // ForEach replays a stored trace into a sink.

@@ -33,7 +33,7 @@ func randRefs(seed int64, n int) []vm.Ref {
 func TestRoundTrip(t *testing.T) {
 	refs := randRefs(1, 1000)
 	var buf bytes.Buffer
-	w := NewWriter(&buf)
+	w := NewWriter(&buf, 56)
 	for _, r := range refs {
 		w.Write(r)
 	}
@@ -54,7 +54,7 @@ func TestRoundTripProperty(t *testing.T) {
 	f := func(seed int64, nRaw uint8) bool {
 		refs := randRefs(seed, int(nRaw)%64+1)
 		var buf bytes.Buffer
-		w := NewWriter(&buf)
+		w := NewWriter(&buf, 56)
 		for _, r := range refs {
 			w.Write(r)
 		}
@@ -74,7 +74,7 @@ func TestRoundTripProperty(t *testing.T) {
 
 func TestTruncatedTrace(t *testing.T) {
 	var buf bytes.Buffer
-	w := NewWriter(&buf)
+	w := NewWriter(&buf, 4)
 	w.Write(vm.Ref{Proc: 1, Addr: 0x1000, Size: 4})
 	w.Flush()
 	trunc := buf.Bytes()[:buf.Len()-3]
@@ -118,5 +118,114 @@ func TestCounterGrowsByProc(t *testing.T) {
 	s(vm.Ref{Proc: 55, Addr: 1, Size: 4})
 	if len(c.ByProc) != 56 || c.ByProc[55] != 1 {
 		t.Errorf("ByProc: %v", c.ByProc)
+	}
+}
+
+func TestHeaderNprocs(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 12)
+	w.Write(vm.Ref{Proc: 11, Addr: 0x1000, Size: 4})
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if n := r.Nprocs(); n != 12 {
+		t.Fatalf("Nprocs = %d, want 12", n)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+}
+
+func TestLegacyHeaderlessTrace(t *testing.T) {
+	// A pre-header trace: raw records, no magic. It must replay (with
+	// Nprocs reporting 0 = unknown).
+	raw := make([]byte, recordSize)
+	raw[0] = 7 // proc 7
+	raw[10] = 4
+	r := NewReader(bytes.NewReader(raw))
+	if n := r.Nprocs(); n != 0 {
+		t.Fatalf("legacy Nprocs = %d, want 0", n)
+	}
+	ref, err := r.Next()
+	if err != nil || ref.Proc != 7 || ref.Size != 4 {
+		t.Fatalf("legacy record = %+v, %v", ref, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestCorruptProcOutOfRange(t *testing.T) {
+	// A record claiming proc 9 in a trace whose header declares 4
+	// processes: the reader must fail with a record-level diagnosis,
+	// not hand the ref to a simulator that will index out of bounds.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 4)
+	w.Write(vm.Ref{Proc: 1, Addr: 0x1000, Size: 4})
+	w.Write(vm.Ref{Proc: 9, Addr: 0x2000, Size: 4})
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "record 2") || !strings.Contains(err.Error(), "proc 9") {
+		t.Fatalf("err = %v, want record-2 proc-out-of-range", err)
+	}
+}
+
+func TestCorruptZeroSize(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 4)
+	w.Write(vm.Ref{Proc: 0, Addr: 0x1000, Size: 0})
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewReader(bytes.NewReader(buf.Bytes())).Next()
+	if err == nil || !strings.Contains(err.Error(), "invalid size") {
+		t.Fatalf("err = %v, want invalid-size", err)
+	}
+}
+
+func TestCorruptVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 4)
+	w.Write(vm.Ref{Proc: 0, Addr: 0x1000, Size: 4})
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte
+	_, err := NewReader(bytes.NewReader(b)).Next()
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("err = %v, want unsupported-version", err)
+	}
+}
+
+func TestCorruptTruncatedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 4)
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:headerSize-2]
+	_, err := NewReader(bytes.NewReader(trunc)).Next()
+	if err == nil || !strings.Contains(err.Error(), "truncated header") {
+		t.Fatalf("err = %v, want truncated-header", err)
+	}
+}
+
+func TestCorruptBadHeaderNprocs(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewReader(bytes.NewReader(buf.Bytes())).Next()
+	if err == nil || !strings.Contains(err.Error(), "0 processors") {
+		t.Fatalf("err = %v, want zero-processors", err)
 	}
 }

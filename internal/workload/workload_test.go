@@ -17,7 +17,10 @@ func measure(t *testing.T, prog *core.Program, nprocs int, block int64) *cache.S
 		t.Fatalf("vm compile: %v", err)
 	}
 	m := vm.New(bc)
-	sim := cache.New(cache.DefaultConfig(nprocs, block))
+	sim, err := cache.New(cache.DefaultConfig(nprocs, block))
+	if err != nil {
+		t.Fatalf("cache: %v", err)
+	}
 	if err := m.Run(func(r vm.Ref) {
 		sim.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
 	}); err != nil {
