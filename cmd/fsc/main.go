@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"falseshare/internal/core"
+	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
 	"falseshare/internal/workload"
 )
@@ -30,7 +31,9 @@ func main() {
 		pdv     = flag.Bool("pdv", false, "print discovered PDVs")
 		plan    = flag.Bool("plan", true, "print the transformation plan")
 		src     = flag.Bool("src", false, "print the transformed source")
+		verify  = flag.Bool("verify", false, "translation-validate the transformed program against the original (safe mode: failing objects degrade to the identity layout)")
 
+		faults  = flag.String("faults", "", "deterministic fault-injection spec (testing; e.g. transform.corrupt:error to seed a miscompile -verify must catch)")
 		report  = flag.String("report", "", "write a JSON run manifest (per-stage timings and counters) to this file")
 		verbose = flag.Bool("v", false, "log pipeline progress to stderr")
 		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -51,6 +54,14 @@ func main() {
 		rec = obs.NewRecorder()
 		rec.Verbose = *verbose
 		obs.Install(rec)
+	}
+
+	if *faults != "" {
+		s, err := faultinject.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		faultinject.Enable(s)
 	}
 
 	var source string
@@ -75,7 +86,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := core.Restructure(source, core.Options{Nprocs: *nprocs, BlockSize: *block})
+	res, err := core.Restructure(source, core.Options{Nprocs: *nprocs, BlockSize: *block, Verify: *verify})
 	if err != nil {
 		fatal(err)
 	}
@@ -98,6 +109,20 @@ func main() {
 		fmt.Println("--- transformed program ---")
 		fmt.Print(res.Transformed.Source)
 	}
+	if *verify {
+		fmt.Println("--- translation validation ---")
+		if res.Verify != nil {
+			fmt.Print(res.Verify)
+		}
+		if len(res.Degraded) > 0 {
+			fmt.Printf("%d object(s) degraded to the identity layout:\n", len(res.Degraded))
+			for _, d := range res.Degraded {
+				fmt.Printf("  %s\n", d)
+			}
+		} else {
+			fmt.Println("0 objects degraded")
+		}
+	}
 
 	if *report != "" {
 		rep := rec.Report("fsc")
@@ -114,6 +139,17 @@ func main() {
 		rep.AddData("decisions", decisions)
 		rep.AddData("skipped", res.Plan.Skipped)
 		rep.AddData("applied", len(res.Applied))
+		if *verify {
+			degraded := make([]string, 0, len(res.Degraded))
+			for _, d := range res.Degraded {
+				degraded = append(degraded, d.String())
+			}
+			rep.AddData("degraded", degraded)
+			if res.Verify != nil {
+				rep.AddData("verify_ok", res.Verify.OK)
+				rep.AddData("verify_objects", len(res.Verify.Objects))
+			}
+		}
 		if err := rep.WriteFile(*report); err != nil {
 			fatal(err)
 		}

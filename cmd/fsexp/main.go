@@ -73,6 +73,7 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-cell deadline, e.g. 90s (0 = none)")
 		retries    = flag.Int("retries", 0, "retry a transiently failed cell up to this many times")
 		stepBudget = flag.Int64("step-budget", 0, "per-process VM instruction cap (0 = the VM default of 1e9)")
+		verifyRuns = flag.Bool("verify", false, "translation-validate every compiler-restructured cell; failing objects degrade to the identity layout and are reported")
 		faults     = flag.String("faults", "", "deterministic fault-injection spec (testing; see internal/faultinject)")
 
 		reportDir = flag.String("reportdir", "", "write one JSON run manifest per figure/table into this directory")
@@ -114,6 +115,7 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Workers = *jobs
 	cfg.StepBudget = *stepBudget
+	cfg.Verify = *verifyRuns
 	cfg.Policy = pool.Policy{
 		FailFast:   !*keepGoing,
 		JobTimeout: *jobTimeout,
@@ -192,6 +194,7 @@ func main() {
 	run := func(name string, fn func() (any, error)) any {
 		var v any
 		var err error
+		seenDegraded := len(experiments.DegradedEvents())
 		if *reportDir == "" {
 			v, err = fn()
 		} else {
@@ -199,6 +202,15 @@ func main() {
 			rep, err = experiments.RunManifest("fsexp", name, experiments.ConfigMap(cfg), fn)
 			if p, ok := experiments.AsPartial(err); ok {
 				rep.AddData("failed", p.Failed)
+			}
+			if ev := experiments.DegradedEvents(); len(ev) > seenDegraded {
+				// Safe mode rolled objects back in this section: record
+				// the cell keys and objects in the manifest.
+				degraded := map[string][]string{}
+				for _, e := range ev[seenDegraded:] {
+					degraded[e.Key] = e.Objects
+				}
+				rep.AddData("degraded", degraded)
 			}
 			path, werr := experiments.WriteManifest(*reportDir, name, rep)
 			if werr != nil {
@@ -280,6 +292,17 @@ func main() {
 
 	if *memprof != "" {
 		check(obs.WriteHeapProfile(*memprof))
+	}
+
+	// Safe-mode summary (stderr, so stdout tables stay stable): which
+	// cells finished with degraded objects, and the overall count.
+	if *verifyRuns {
+		ev := experiments.DegradedEvents()
+		sort.Slice(ev, func(i, j int) bool { return ev[i].Key < ev[j].Key })
+		for _, e := range ev {
+			fmt.Fprintf(os.Stderr, "fsexp: degraded %s: %v\n", e.Key, e.Objects)
+		}
+		fmt.Fprintf(os.Stderr, "fsexp: verify: %d objects degraded\n", experiments.DegradedObjects())
 	}
 
 	if len(failSections) > 0 {

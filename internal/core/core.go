@@ -13,20 +13,22 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"falseshare/internal/analysis/nonconc"
-	"falseshare/internal/faultinject"
 	"falseshare/internal/analysis/pdv"
 	"falseshare/internal/analysis/procs"
 	"falseshare/internal/analysis/sideeffect"
 	"falseshare/internal/cfg"
+	"falseshare/internal/faultinject"
 	"falseshare/internal/lang/ast"
 	"falseshare/internal/lang/parser"
 	"falseshare/internal/lang/types"
 	"falseshare/internal/layout"
 	"falseshare/internal/obs"
 	"falseshare/internal/transform"
+	"falseshare/internal/verify"
 )
 
 // Options configures the restructurer.
@@ -45,6 +47,20 @@ type Options struct {
 	// zero value takes the paper defaults (Nprocs and BlockSize are
 	// filled in from the options above).
 	Heuristics transform.Config
+	// Verify enables translation validation: the transformed program
+	// is executed against the original on the VM and objects whose
+	// final state diverges are degraded back to the identity layout.
+	Verify bool
+	// VerifyNprocs overrides the validation process count (default:
+	// min(4, Nprocs)).
+	VerifyNprocs int
+	// VerifyBudget overrides the validation step budget per process.
+	VerifyBudget int64
+	// Exclude lists objects (shared globals, struct names, or
+	// "Struct.field" keys) that must never be transformed — their
+	// decisions are dropped up front. Chaos tests use it to build
+	// byte-identical control runs for degradation assertions.
+	Exclude []string
 }
 
 func (o Options) defaults() Options {
@@ -104,6 +120,13 @@ type Result struct {
 	PDVs    *pdv.Result
 	Phases  *nonconc.Result
 	Procs   *procs.Result
+	// Degraded lists the objects rolled back to the identity layout
+	// (safe mode): their transformation failed to apply, broke the
+	// layout, or failed translation validation.
+	Degraded []Degradation
+	// Verify is the translation-validation report for the final
+	// (possibly degraded) transformed program, when Options.Verify.
+	Verify *verify.Report
 }
 
 // Compile parses, checks and lays out a program without transforming
@@ -124,25 +147,46 @@ func CompileCtx(ctx context.Context, src string, opt Options) (*Program, error) 
 	if err := stageGate(ctx, "core.compile"); err != nil {
 		return nil, err
 	}
-	st := obs.Begin("parse")
-	file, err := parser.Parse(src)
-	st.End()
+	file, info, err := parseAndCheck(src)
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
+		return nil, err
 	}
-	st = obs.Begin("typecheck")
-	info, err := types.Check(file)
-	st.End()
-	if err != nil {
-		return nil, fmt.Errorf("check: %w", err)
-	}
-	st = obs.Begin("layout")
-	lay, err := layout.Compute(info, layout.NewDirectives(opt.BlockSize), int64(opt.Nprocs))
+	st := obs.Begin("layout")
+	var lay *layout.Layout
+	err = guard("layout", func() (e error) {
+		lay, e = layout.Compute(info, layout.NewDirectives(opt.BlockSize), int64(opt.Nprocs))
+		return e
+	})
 	st.End()
 	if err != nil {
 		return nil, fmt.Errorf("layout: %w", err)
 	}
 	return &Program{Source: src, File: file, Info: info, Layout: lay, Dirs: lay.Dirs}, nil
+}
+
+// parseAndCheck runs the two front-end stages under panic containment.
+func parseAndCheck(src string) (*ast.File, *types.Info, error) {
+	st := obs.Begin("parse")
+	var file *ast.File
+	err := guard("parse", func() (e error) {
+		file, e = parser.Parse(src)
+		return e
+	})
+	st.End()
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse: %w", err)
+	}
+	st = obs.Begin("typecheck")
+	var info *types.Info
+	err = guard("typecheck", func() (e error) {
+		info, e = types.Check(file)
+		return e
+	})
+	st.End()
+	if err != nil {
+		return nil, nil, fmt.Errorf("check: %w", err)
+	}
+	return file, info, nil
 }
 
 // Restructure runs the full pipeline: it analyzes src, decides and
@@ -166,100 +210,294 @@ func RestructureCtx(ctx context.Context, src string, opt Options) (*Result, erro
 		return nil, err
 	}
 
-	// A second, independent tree for mutation.
-	st := obs.Begin("parse")
-	file, err := parser.Parse(src)
-	st.End()
+	// A second, independent tree for analysis.
+	file, info, err := parseAndCheck(src)
 	if err != nil {
-		return nil, fmt.Errorf("parse: %w", err)
-	}
-	st = obs.Begin("typecheck")
-	info, err := types.Check(file)
-	st.End()
-	if err != nil {
-		return nil, fmt.Errorf("check: %w", err)
-	}
-
-	st = obs.Begin("cfg")
-	prog := cfg.BuildProgram(file)
-	st.End()
-
-	st = obs.Begin("pdv")
-	pdvs := pdv.Analyze(info, int64(opt.Nprocs))
-	st.Set("pdvs", countPDVs(pdvs))
-	st.End()
-
-	st = obs.Begin("procs")
-	procRes := procs.Analyze(prog, info, pdvs, opt.Nprocs)
-	st.End()
-
-	st = obs.Begin("nonconc")
-	phases, err := nonconc.Analyze(prog)
-	if err != nil {
-		st.End()
 		return nil, err
 	}
-	st.Set("phases", int64(phases.N))
+
+	st := obs.Begin("cfg")
+	var prog *cfg.CallGraph
+	err = guard("cfg", func() error {
+		prog = cfg.BuildProgram(file)
+		return nil
+	})
 	st.End()
+	if err != nil {
+		return nil, err
+	}
+
+	st = obs.Begin("pdv")
+	var pdvs *pdv.Result
+	err = guard("pdv", func() error {
+		pdvs = pdv.Analyze(info, int64(opt.Nprocs))
+		return nil
+	})
+	if err == nil {
+		st.Set("pdvs", countPDVs(pdvs))
+	}
+	st.End()
+	if err != nil {
+		return nil, err
+	}
+
+	st = obs.Begin("procs")
+	var procRes *procs.Result
+	err = guard("procs", func() error {
+		procRes = procs.Analyze(prog, info, pdvs, opt.Nprocs)
+		return nil
+	})
+	st.End()
+	if err != nil {
+		return nil, err
+	}
+
+	st = obs.Begin("nonconc")
+	var phases *nonconc.Result
+	err = guard("nonconc", func() (e error) {
+		phases, e = nonconc.Analyze(prog)
+		return e
+	})
+	if err == nil {
+		st.Set("phases", int64(phases.N))
+	}
+	st.End()
+	if err != nil {
+		return nil, err
+	}
 
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	st = obs.Begin("sideeffect")
-	summary := sideeffect.Analyze(info, prog, pdvs, procRes, phases, opt.analysisConfig())
-	st.Set("objects", int64(len(summary.Objects)))
-	st.Set("rsd_added", summary.RSD.Added)
-	st.Set("rsd_deduped", summary.RSD.Deduped)
-	st.Set("rsd_merged", summary.RSD.Merged)
-	st.Set("rsd_capped", summary.RSD.Capped)
-	st.End()
-
-	st = obs.Begin("decide")
-	plan := transform.Decide(summary, info, opt.Heuristics)
-	st.Set("decisions", int64(len(plan.Decisions)))
-	st.Set("skipped", int64(len(plan.Skipped)))
-	for _, d := range plan.Decisions {
-		st.Count("kind:"+d.Kind.String(), 1)
+	var summary *sideeffect.Summary
+	err = guard("sideeffect", func() error {
+		summary = sideeffect.Analyze(info, prog, pdvs, procRes, phases, opt.analysisConfig())
+		return nil
+	})
+	if err == nil {
+		st.Set("objects", int64(len(summary.Objects)))
+		st.Set("rsd_added", summary.RSD.Added)
+		st.Set("rsd_deduped", summary.RSD.Deduped)
+		st.Set("rsd_merged", summary.RSD.Merged)
+		st.Set("rsd_capped", summary.RSD.Capped)
 	}
 	st.End()
-
-	if err := ctxErr(ctx); err != nil {
+	if err != nil {
 		return nil, err
 	}
-	st = obs.Begin("apply")
-	dirs, applied, err := transform.Apply(file, info, plan, opt.BlockSize, int64(opt.Nprocs))
+
+	st = obs.Begin("decide")
+	var plan *transform.Plan
+	err = guard("decide", func() error {
+		plan = transform.Decide(summary, info, opt.Heuristics)
+		return nil
+	})
+	if err == nil {
+		st.Set("decisions", int64(len(plan.Decisions)))
+		st.Set("skipped", int64(len(plan.Skipped)))
+		for _, d := range plan.Decisions {
+			st.Count("kind:"+d.Kind.String(), 1)
+		}
+	}
+	st.End()
 	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Options:  opt,
+		Original: orig,
+		Plan:     plan,
+		Summary:  summary,
+		PDVs:     pdvs,
+		Phases:   phases,
+		Procs:    procRes,
+	}
+	if err := buildTransformed(ctx, src, opt, res); err != nil {
+		return nil, err
+	}
+	sp.Set("degraded", int64(len(res.Degraded)))
+	for _, d := range res.Degraded {
+		sp.Count("degraded:"+d.Object, 1)
+	}
+	return res, nil
+}
+
+// buildTransformed runs the safe-mode apply loop: apply the plan,
+// recheck, lay out, and (optionally) translation-validate. Any
+// failure attributable to a decision degrades just that decision —
+// the AST is rebuilt from a FRESH parse with the decision disabled
+// (a mid-rewrite panic can leave the tree partially mutated) and the
+// loop retries. The loop terminates because every retry disables at
+// least one decision.
+func buildTransformed(ctx context.Context, src string, opt Options, res *Result) error {
+	plan := res.Plan
+	disabled := map[*transform.Decision]bool{}
+	baseSkipped := append([]string(nil), plan.Skipped...)
+
+	// Exclusions are static skips, not degradations.
+	for _, d := range plan.Decisions {
+		for _, obj := range opt.Exclude {
+			if decisionTouches(d, obj, res.Original.Info) {
+				disabled[d] = true
+				baseSkipped = append(baseSkipped, fmt.Sprintf("%s: excluded by option (-exclude %s)", d, obj))
+			}
+		}
+	}
+
+	degrade := func(d *transform.Decision, stage, reason string) {
+		if disabled[d] {
+			return // already rolled back on an earlier finding
+		}
+		disabled[d] = true
+		res.Degraded = append(res.Degraded, degradeTargets(d, res.Original.Info, stage, reason)...)
+	}
+
+	for attempt := 0; attempt <= len(plan.Decisions); attempt++ {
+		if err := ctxErr(ctx); err != nil {
+			return err
+		}
+		plan.Skipped = append([]string(nil), baseSkipped...)
+		file, info, err := parseAndCheck(src)
+		if err != nil {
+			return err
+		}
+
+		st := obs.Begin("apply")
+		var out *transform.Outcome
+		err = guard("apply", func() error {
+			out = transform.ApplySafe(ctx, file, info, plan, opt.BlockSize, int64(opt.Nprocs),
+				func(d *transform.Decision) bool { return disabled[d] })
+			return nil
+		})
+		if err == nil {
+			st.Set("applied", int64(len(out.Applied)))
+		}
 		st.End()
-		return nil, fmt.Errorf("apply: %w", err)
-	}
-	st.Set("applied", int64(len(applied)))
-	st.End()
+		if err != nil {
+			return err
+		}
+		if len(out.Failed) > 0 {
+			for _, f := range out.Failed {
+				stage := "apply"
+				if f.Panicked {
+					stage = "apply (panic)"
+				}
+				degrade(f.Decision, stage, f.Err.Error())
+			}
+			continue
+		}
+		applied := out.Applied
 
-	// Re-check the mutated tree and lay it out with the directives.
-	st = obs.Begin("recheck")
-	newInfo, err := types.Check(file)
-	st.End()
-	if err != nil {
-		return nil, fmt.Errorf("transformed program fails to check (transformation bug): %w\n%s", err, ast.Print(file))
-	}
-	st = obs.Begin("layout")
-	lay, err := layout.Compute(newInfo, dirs, int64(opt.Nprocs))
-	st.End()
-	if err != nil {
-		return nil, fmt.Errorf("layout of transformed program: %w", err)
-	}
+		// Re-check the mutated tree and lay it out with the directives.
+		st = obs.Begin("recheck")
+		var newInfo *types.Info
+		err = guard("recheck", func() (e error) {
+			newInfo, e = types.Check(file)
+			return e
+		})
+		st.End()
+		if err != nil {
+			if len(applied) == 0 {
+				return fmt.Errorf("transformed program fails to check (transformation bug): %w\n%s", err, ast.Print(file))
+			}
+			// Unattributable: degrade everything that was applied.
+			for _, d := range applied {
+				degrade(d, "recheck", err.Error())
+			}
+			continue
+		}
 
-	return &Result{
-		Options:     opt,
-		Original:    orig,
-		Transformed: &Program{Source: ast.Print(file), File: file, Info: newInfo, Layout: lay, Dirs: dirs},
-		Plan:        plan,
-		Applied:     applied,
-		Summary:     summary,
-		PDVs:        pdvs,
-		Phases:      phases,
-		Procs:       procRes,
-	}, nil
+		st = obs.Begin("layout")
+		var lay *layout.Layout
+		err = guard("layout", func() (e error) {
+			lay, e = layout.Compute(newInfo, out.Dirs, int64(opt.Nprocs))
+			return e
+		})
+		st.End()
+		if err != nil {
+			var ve *layout.VarError
+			if errors.As(err, &ve) {
+				hit := false
+				for _, d := range applied {
+					if decisionTouches(d, ve.Name, res.Original.Info) || decisionTouches(d, ve.Name, newInfo) {
+						degrade(d, "layout", err.Error())
+						hit = true
+					}
+				}
+				if hit {
+					continue
+				}
+			}
+			return fmt.Errorf("layout of transformed program: %w", err)
+		}
+
+		trans := &Program{Source: ast.Print(file), File: file, Info: newInfo, Layout: lay, Dirs: out.Dirs}
+
+		if opt.Verify {
+			st = obs.Begin("verify")
+			var rep *verify.Report
+			err = guard("verify", func() (e error) {
+				rep, e = verify.Run(
+					verify.Side{File: res.Original.File, Info: res.Original.Info, Layout: res.Original.Layout},
+					verify.Side{File: trans.File, Info: trans.Info, Layout: trans.Layout},
+					applied,
+					verify.Options{Nprocs: opt.VerifyNprocs, StepBudget: opt.VerifyBudget},
+				)
+				return e
+			})
+			if err == nil {
+				st.Set("verify_objects", int64(len(rep.Objects)))
+				if rep.OK {
+					st.Set("verify_ok", 1)
+				}
+			}
+			st.End()
+			if err != nil {
+				return err
+			}
+			if !rep.Skipped && !rep.OK {
+				if len(applied) == 0 {
+					// No transformations, yet the programs diverge:
+					// that is a validator (or VM) bug, not a layout one.
+					return &InternalError{Stage: "verify", Value: "divergence with no applied decisions: " + rep.String()}
+				}
+				attributed := false
+				for _, v := range rep.Failing() {
+					for _, d := range applied {
+						if decisionTouches(d, v.Object, res.Original.Info) {
+							reason := v.Reason
+							if v.First != nil {
+								reason = v.First.String()
+							}
+							degrade(d, "verify", reason)
+							attributed = true
+						}
+					}
+				}
+				if !attributed {
+					// A whole-program failure (transformed side failed
+					// to run) or an unattributable divergence: roll
+					// back every applied decision.
+					reason := rep.TransErr
+					if reason == "" {
+						reason = "unattributable divergence"
+					}
+					for _, d := range applied {
+						degrade(d, "verify", reason)
+					}
+				}
+				continue
+			}
+			res.Verify = rep
+		}
+
+		res.Transformed = trans
+		res.Applied = applied
+		return nil
+	}
+	return &InternalError{Stage: "apply", Value: "degradation loop did not converge"}
 }
 
 // stageGate is the entry check of a pipeline stage: cancellation

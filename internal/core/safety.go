@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/lang/types"
+	"falseshare/internal/transform"
+)
+
+// InternalError is a contained pipeline panic: every stage of the
+// compile and restructure pipelines runs under recover, so a bug in
+// an analysis or rewrite surfaces as a typed, attributable error —
+// with the stage name and stack — instead of killing the process (and
+// with it a whole experiment sweep).
+type InternalError struct {
+	Stage string // pipeline stage that panicked (parse, typecheck, ...)
+	Value string // the panic value, rendered
+	Stack []byte // goroutine stack at the panic site
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("core: internal error in %s: %s", e.Stage, e.Value)
+}
+
+// guard runs one pipeline stage under panic containment.
+func guard(stage string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &InternalError{Stage: stage, Value: fmt.Sprint(r), Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Degradation records one object whose transformation was rolled back
+// to the identity layout: the decision covering it failed to apply,
+// tripped a fault point, broke the layout, or failed translation
+// validation. The rest of the program keeps its transformations.
+type Degradation struct {
+	// Object names the degraded object (a shared global, or
+	// "Struct.field" for indirection targets).
+	Object string
+	// Pos is the object's declaration position in the original
+	// program ("line:col"), when resolvable.
+	Pos string
+	// Stage names where the failure surfaced: apply, recheck, layout,
+	// or verify.
+	Stage string
+	// Reason is the underlying diagnostic.
+	Reason string
+	// Decision renders the rolled-back decision.
+	Decision string
+}
+
+func (d Degradation) String() string {
+	pos := ""
+	if d.Pos != "" {
+		pos = " (decl " + d.Pos + ")"
+	}
+	return fmt.Sprintf("%s%s: %s: %s", d.Object, pos, d.Stage, d.Reason)
+}
+
+// decisionTouches reports whether a decision transforms the named
+// original-program object. info (the original program's) resolves
+// indirection decisions, which target heap structs reached through
+// pointer globals rather than the globals themselves.
+func decisionTouches(d *transform.Decision, obj string, info *types.Info) bool {
+	for _, n := range d.Arrays {
+		if n == obj {
+			return true
+		}
+	}
+	for _, n := range d.Globals {
+		if n == obj {
+			return true
+		}
+	}
+	for _, n := range d.HeapVia {
+		if n == obj {
+			return true
+		}
+	}
+	// The synthesized group record (gtvN) exists only in the
+	// transformed program; layout failures name it directly.
+	if d.GroupVar != "" && d.GroupVar == obj {
+		return true
+	}
+	if d.Struct != "" {
+		if d.Struct == obj {
+			return true
+		}
+		for _, f := range d.Fields {
+			if d.Struct+"."+f == obj {
+				return true
+			}
+		}
+		// A pointer global whose pointee struct is indirected.
+		if info != nil {
+			if sym := info.Globals[obj]; sym != nil && sym.Type.Kind == types.Pointer {
+				if e := sym.Type.Elem; e != nil && e.Kind == types.StructK && e.Struct.Name == d.Struct {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// declPos resolves an object's declaration position in the original
+// program for Degradation diagnostics.
+func declPos(info *types.Info, obj string) string {
+	if info == nil {
+		return ""
+	}
+	if sym := info.Globals[obj]; sym != nil {
+		if vd, ok := sym.Decl.(*ast.VarDecl); ok {
+			return vd.P.String()
+		}
+	}
+	// "Struct.field" or a bare struct name.
+	name := obj
+	for i := 0; i < len(name); i++ {
+		if name[i] == '.' {
+			name = name[:i]
+			break
+		}
+	}
+	if si := info.Structs[name]; si != nil && si.Decl != nil {
+		return si.Decl.P.String()
+	}
+	return ""
+}
+
+// degradeTargets builds the Degradation records for one failed
+// decision, one per touched object, tagged with declaration
+// positions from the original program.
+func degradeTargets(d *transform.Decision, info *types.Info, stage, reason string) []Degradation {
+	var out []Degradation
+	for _, obj := range d.Targets() {
+		if d.GroupVar != "" && obj == d.GroupVar {
+			continue // synthesized name, not an original object
+		}
+		out = append(out, Degradation{
+			Object:   obj,
+			Pos:      declPos(info, obj),
+			Stage:    stage,
+			Reason:   reason,
+			Decision: d.String(),
+		})
+	}
+	if len(out) == 0 {
+		out = append(out, Degradation{Object: d.Kind.String(), Stage: stage, Reason: reason, Decision: d.String()})
+	}
+	return out
+}

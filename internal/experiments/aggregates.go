@@ -58,10 +58,11 @@ func ComputeAggregates(cfg Config, block int64) (*Aggregates, error) {
 			procs = cfg.Fig3ProcsTopopt
 		}
 		for _, ver := range []Version{VersionN, VersionC} {
+			key := fmt.Sprintf("aggregates/%s/%s", b.Name, ver)
 			jobs = append(jobs, pool.Job[aggCell]{
-				Key: fmt.Sprintf("aggregates/%s/%s", b.Name, ver),
+				Key: key,
 				Run: func(ctx context.Context) (aggCell, error) {
-					prog, err := ProgramCtx(ctx, b, ver, procs, cfg.Scale, block, transform.Config{})
+					prog, err := cfg.buildProgram(ctx, key, b, ver, procs, block, transform.Config{})
 					if err != nil {
 						return aggCell{}, err
 					}

@@ -52,10 +52,11 @@ func Figure3(cfg Config) ([]Fig3Cell, error) {
 			// Block size affects the C version's padding, so compile
 			// per block size.
 			for _, blk := range cfg.Fig3Blocks {
+				key := fmt.Sprintf("fig3/%s/%s/b%d", b.Name, ver, blk)
 				jobs = append(jobs, pool.Job[Fig3Cell]{
-					Key: fmt.Sprintf("fig3/%s/%s/b%d", b.Name, ver, blk),
+					Key: key,
 					Run: func(ctx context.Context) (Fig3Cell, error) {
-						prog, err := ProgramCtx(ctx, b, ver, procs, cfg.Scale, blk, transform.Config{})
+						prog, err := cfg.buildProgram(ctx, key, b, ver, procs, blk, transform.Config{})
 						if err != nil {
 							return Fig3Cell{}, fmt.Errorf("fig3 %s/%s: %w", b.Name, ver, err)
 						}

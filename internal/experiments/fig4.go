@@ -33,10 +33,11 @@ func sweepJobs(b *workload.Benchmark, cfg Config, machine ksr.Config) ([]pool.Jo
 		machine.StepBudget = cfg.StepBudget
 	}
 	execute := func(ver Version, p int) pool.Job[*ksr.Result] {
+		key := fmt.Sprintf("fig4/%s/%s/p%d", b.Name, ver, p)
 		return pool.Job[*ksr.Result]{
-			Key: fmt.Sprintf("fig4/%s/%s/p%d", b.Name, ver, p),
+			Key: key,
 			Run: func(ctx context.Context) (*ksr.Result, error) {
-				prog, err := ProgramCtx(ctx, b, ver, p, cfg.Scale, machine.BlockSize, transform.Config{})
+				prog, err := cfg.buildProgram(ctx, key, b, ver, p, machine.BlockSize, transform.Config{})
 				if err != nil {
 					return nil, fmt.Errorf("fig4 %s/%s: %w", b.Name, ver, err)
 				}

@@ -72,6 +72,13 @@ type Config struct {
 	// (0: the VM default of 1e9), so runaway programs fail instead of
 	// hanging a job forever.
 	StepBudget int64
+	// Verify enables safe mode for every compiler-restructured cell:
+	// each C program is translation-validated against its original,
+	// and objects that fail validation (or whose transformation fails
+	// to apply) are degraded to the identity layout and recorded — see
+	// DegradedEvents. Cells replayed from the journal skip compilation
+	// and therefore record no events.
+	Verify bool
 }
 
 // DefaultConfig returns the paper's experimental setup.

@@ -91,5 +91,6 @@ func ConfigMap(cfg Config) map[string]any {
 		"fig3_blocks":       cfg.Fig3Blocks,
 		"table2_blocks":     cfg.Table2Blocks,
 		"sweep_counts":      cfg.SweepCounts,
+		"verify":            cfg.Verify,
 	}
 }

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"falseshare/internal/core"
+	"falseshare/internal/transform"
+	"falseshare/internal/workload"
+)
+
+// DegradeEvent records one experiment cell whose restructuring rolled
+// objects back to the identity layout (safe mode): the cell still
+// completed, but with fewer transformations than planned.
+type DegradeEvent struct {
+	// Key is the experiment cell, e.g. "fig3/maxflow/C/b128".
+	Key string
+	// Objects are the degraded object names (deduplicated, sorted).
+	Objects []string
+	// Details are the rendered Degradation diagnostics.
+	Details []string
+}
+
+var (
+	degradeMu     sync.Mutex
+	degradeEvents []DegradeEvent
+)
+
+// ResetDegraded clears the recorded degrade events; each driver run
+// starts fresh.
+func ResetDegraded() {
+	degradeMu.Lock()
+	degradeEvents = nil
+	degradeMu.Unlock()
+}
+
+// DegradedEvents returns the events recorded since the last reset, in
+// insertion order (nondeterministic across parallel workers; sort by
+// Key for deterministic output). Drivers snapshot the length before a
+// section and slice from it after, to attribute events per section.
+func DegradedEvents() []DegradeEvent {
+	degradeMu.Lock()
+	defer degradeMu.Unlock()
+	return append([]DegradeEvent(nil), degradeEvents...)
+}
+
+// DegradedObjects counts the distinct degraded objects across all
+// recorded events (the "N objects degraded" summary number).
+func DegradedObjects() int {
+	seen := map[string]bool{}
+	for _, e := range DegradedEvents() {
+		for _, o := range e.Objects {
+			seen[e.Key+"\x00"+o] = true
+		}
+	}
+	return len(seen)
+}
+
+func recordDegraded(key string, degs []core.Degradation) {
+	if len(degs) == 0 {
+		return
+	}
+	ev := DegradeEvent{Key: key}
+	seen := map[string]bool{}
+	for _, d := range degs {
+		if !seen[d.Object] {
+			seen[d.Object] = true
+			ev.Objects = append(ev.Objects, d.Object)
+		}
+		ev.Details = append(ev.Details, d.String())
+	}
+	sort.Strings(ev.Objects)
+	degradeMu.Lock()
+	degradeEvents = append(degradeEvents, ev)
+	degradeMu.Unlock()
+}
+
+// buildProgram is the verification-aware builder behind every
+// experiment cell. Without cfg.Verify it is ProgramCtx; with it, C
+// versions run the restructurer in safe mode — the transformed
+// program is translation-validated against the original, degraded
+// objects are recorded against the cell key, and the (possibly
+// partially rolled back) program still completes the cell.
+func (cfg Config) buildProgram(ctx context.Context, key string, b *workload.Benchmark, ver Version, nprocs int, block int64, heur transform.Config) (*core.Program, error) {
+	if ver != VersionC || !cfg.Verify {
+		return ProgramCtx(ctx, b, ver, nprocs, cfg.Scale, block, heur)
+	}
+	opt := core.Options{Nprocs: nprocs, BlockSize: block, Heuristics: heur, Verify: true}
+	res, err := core.RestructureCtx(ctx, b.Source(cfg.Scale), opt)
+	if err != nil {
+		return nil, err
+	}
+	recordDegraded(key, res.Degraded)
+	return res.Transformed, nil
+}

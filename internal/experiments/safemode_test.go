@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"falseshare/internal/faultinject"
+	"falseshare/internal/transform"
+	"falseshare/internal/workload"
+)
+
+// TestBuildProgramRecordsDegradation: a verifying experiment cell hit
+// by a seeded miscompile still completes — it records the degraded
+// objects against the cell key and returns a runnable program.
+func TestBuildProgramRecordsDegradation(t *testing.T) {
+	s, err := faultinject.Parse("transform.corrupt:error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(s)
+	t.Cleanup(faultinject.Disable)
+	ResetDegraded()
+	t.Cleanup(ResetDegraded)
+
+	b := workload.Get("pverify")
+	if b == nil {
+		t.Fatal("pverify workload missing")
+	}
+	cfg := Config{Scale: 1, Verify: true}
+	const key = "safemode/pverify/C/b128"
+	prog, err := cfg.buildProgram(context.Background(), key, b, VersionC, 8, 128, transform.Config{})
+	if err != nil {
+		t.Fatalf("cell failed instead of degrading: %v", err)
+	}
+	if prog == nil {
+		t.Fatal("no program")
+	}
+
+	evs := DegradedEvents()
+	if len(evs) != 1 || evs[0].Key != key {
+		t.Fatalf("events = %+v, want one for %s", evs, key)
+	}
+	if len(evs[0].Objects) == 0 || len(evs[0].Details) == 0 {
+		t.Fatalf("event carries no diagnostics: %+v", evs[0])
+	}
+	if DegradedObjects() != len(evs[0].Objects) {
+		t.Fatalf("DegradedObjects() = %d, want %d", DegradedObjects(), len(evs[0].Objects))
+	}
+}
+
+// TestBuildProgramCleanRecordsNothing: without faults, verifying
+// cells record no degrade events; and the N version never verifies.
+func TestBuildProgramCleanRecordsNothing(t *testing.T) {
+	ResetDegraded()
+	t.Cleanup(ResetDegraded)
+
+	b := workload.Get("pverify")
+	cfg := Config{Scale: 1, Verify: true}
+	for _, ver := range []Version{VersionN, VersionC} {
+		if _, err := cfg.buildProgram(context.Background(), "clean/cell", b, ver, 8, 128, transform.Config{}); err != nil {
+			t.Fatalf("%s: %v", ver, err)
+		}
+	}
+	if n := len(DegradedEvents()); n != 0 {
+		t.Fatalf("clean run recorded %d degrade events: %+v", n, DegradedEvents())
+	}
+}

@@ -89,10 +89,11 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		if variant == "N" {
 			ver = VersionN
 		}
+		key := fmt.Sprintf("table2/%s/b%d/%s", b.Name, blk, variant)
 		jobs = append(jobs, pool.Job[int64]{
-			Key: fmt.Sprintf("table2/%s/b%d/%s", b.Name, blk, variant),
+			Key: key,
 			Run: func(ctx context.Context) (int64, error) {
-				prog, err := ProgramCtx(ctx, b, ver, procs, cfg.Scale, blk, hc)
+				prog, err := cfg.buildProgram(ctx, key, b, ver, procs, blk, hc)
 				if err != nil {
 					return 0, fmt.Errorf("table2 %s %s: %w", b.Name, variant, err)
 				}

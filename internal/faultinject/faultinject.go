@@ -20,7 +20,11 @@
 //	pool.worker:error:p=0.25:seed=7           a deterministic 25% of keys
 //
 // Points: pool.worker, core.compile, core.restructure, vm.run,
-// trace.partee. A literal * matches every point.
+// trace.partee, transform.apply (detail: the decision's target key —
+// fail one transformation decision), transform.corrupt (same detail;
+// makes the applier emit a deliberately wrong rewrite, a seeded
+// miscompile for translation-validation tests), and layout (detail:
+// the shared global being laid out). A literal * matches every point.
 //
 // Determinism: `after`/`count` count hits on a per-rule atomic counter
 // (exact under -j 1; under parallel runs the set of firing hits can

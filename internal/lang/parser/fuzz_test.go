@@ -1,0 +1,43 @@
+package parser
+
+import (
+	"testing"
+
+	"falseshare/internal/lang/ast"
+	"falseshare/internal/workload"
+)
+
+// FuzzParse throws mutated program text at the parser. Two
+// properties: the parser never panics (it returns errors), and any
+// file it accepts round-trips through the printer — print then
+// reparse succeeds, so the two agree on the language.
+func FuzzParse(f *testing.F) {
+	for _, b := range workload.All() {
+		f.Add(b.Source(1))
+	}
+	seeds := []string{
+		"shared int a[16];\nvoid main() { a[pid] = a[pid] + 1; }\n",
+		"struct S { int x; struct S *next; };\nshared struct S *p;\nvoid main() { p = alloc(struct S); p->x = 1; }\n",
+		"lock l;\nshared int n;\nvoid main() { acquire(l); n = n + 1; release(l); barrier; }\n",
+		"shared double w[8][8];\nvoid main() { forall (int i = 0; i < 8; i = i + 1) { w[i][pid] = 0.5; } }\n",
+		"void main() { for (int i = pid; i < 64; i = i + nprocs) { } }\n",
+		"// comment\nvoid main() { int x; x = -1 * (2 + 3) / 4 % 5; while (x != 0) { x = x - 1; } }\n",
+		"void f(int k) { }\nvoid main() { f(nprocs); if (pid == 0) { } else { } }\n",
+		"shared int a[4]; void main() { a[0] = 07; }",
+		"void main() { { { } } }",
+		"\x00\xff{}[];",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := ast.Print(file)
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("printed output does not reparse: %v\ninput:\n%s\nprinted:\n%s", err, src, out)
+		}
+	})
+}

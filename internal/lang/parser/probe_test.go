@@ -1,0 +1,41 @@
+package parser
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProbeHang(t *testing.T) {
+	inputs := []string{
+		"void main() { a[0] = 07; }",
+		"shared int a[4]; void main() { a[0] = 07; }",
+		"void main() { x = 08; }",
+		"void main() { ",
+		"void main() { } }",
+		"void main() { for (;;) { } }",
+		"void main() { for (int i = 0 i < 1; ) { } }",
+		"struct S { int x };",
+		"struct S { };",
+		"void f( { }",
+		"forall",
+		"void main() { if () { } }",
+		"void main() { 1 + ; }",
+		"#void main() { }",
+		"void main() { a[ }",
+		"void main() { a-> }",
+		"void main() { *p = 1; }",
+		"void main() { p->->x = 1; }",
+	}
+	for _, in := range inputs {
+		done := make(chan struct{})
+		go func(s string) {
+			defer close(done)
+			Parse(s)
+		}(in)
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("parser hang on %q", in)
+		}
+	}
+}

@@ -223,10 +223,20 @@ func TestTypeEqual(t *testing.T) {
 }
 
 func TestScalarSize(t *testing.T) {
-	if IntType.ScalarSize() != 4 || DoubleType.ScalarSize() != 8 ||
-		PointerTo(IntType).ScalarSize() != 8 || LockType.ScalarSize() != 4 {
+	if IntType.MustScalarSize() != 4 || DoubleType.MustScalarSize() != 8 ||
+		PointerTo(IntType).MustScalarSize() != 8 || LockType.MustScalarSize() != 4 {
 		t.Errorf("scalar sizes wrong")
 	}
+	arr := ArrayOf(IntType, nil)
+	if _, err := arr.ScalarSize(); err == nil {
+		t.Errorf("ScalarSize of array should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MustScalarSize of array should panic")
+		}
+	}()
+	arr.MustScalarSize()
 }
 
 func TestSharedGlobalsOrder(t *testing.T) {

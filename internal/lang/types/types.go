@@ -8,6 +8,8 @@
 package types
 
 import (
+	"fmt"
+
 	"falseshare/internal/lang/ast"
 )
 
@@ -111,19 +113,32 @@ func (t *Type) IsScalar() bool {
 	return false
 }
 
-// ScalarSize returns the byte size of a scalar type.
-func (t *Type) ScalarSize() int64 {
+// ScalarSize returns the byte size of a scalar type, or an error for
+// non-scalar types (arrays, structs, void). Callers that have already
+// proven the type scalar can use MustScalarSize.
+func (t *Type) ScalarSize() (int64, error) {
 	switch t.Kind {
 	case Int:
-		return IntSize
+		return IntSize, nil
 	case Double:
-		return DoubleSize
+		return DoubleSize, nil
 	case Pointer:
-		return PointerSize
+		return PointerSize, nil
 	case LockT:
-		return LockSize
+		return LockSize, nil
 	}
-	panic("types: ScalarSize of non-scalar " + t.String())
+	return 0, fmt.Errorf("types: ScalarSize of non-scalar %s", t)
+}
+
+// MustScalarSize is ScalarSize for call sites with a proven scalar
+// invariant (e.g. inside a switch over scalar kinds); it panics on
+// non-scalar types.
+func (t *Type) MustScalarSize() int64 {
+	n, err := t.ScalarSize()
+	if err != nil {
+		panic(err.Error())
+	}
+	return n
 }
 
 // StructInfo is the semantic view of a struct declaration.

@@ -20,11 +20,25 @@ import (
 	"sort"
 	"strings"
 
+	"falseshare/internal/faultinject"
 	"falseshare/internal/lang/types"
 )
 
 // GlobalBase is the address of the first shared global.
 const GlobalBase int64 = 0x1000
+
+// VarError is a layout failure attributable to one shared global. The
+// restructurer uses the attribution to roll back just the
+// transformations that touch that object (per-object degradation)
+// instead of failing the whole compile.
+type VarError struct {
+	Name string // the shared global whose layout failed
+	Err  error
+}
+
+func (e *VarError) Error() string { return fmt.Sprintf("layout: global %q: %v", e.Name, e.Err) }
+
+func (e *VarError) Unwrap() error { return e.Err }
 
 // Directives carry the data-transformation decisions that affect
 // memory layout. Keys are global variable names (after any renaming
@@ -147,9 +161,14 @@ func Compute(info *types.Info, dirs *Directives, nprocs int64) (*Layout, error) 
 		if sym == nil || !sym.IsShared() {
 			continue
 		}
+		// Per-object fault point: chaos tests target one global here to
+		// assert it alone degrades to the identity layout.
+		if err := faultinject.Fire(nil, "layout", g.Name); err != nil {
+			return nil, &VarError{Name: g.Name, Err: err}
+		}
 		vl, err := l.varLayout(sym)
 		if err != nil {
-			return nil, err
+			return nil, &VarError{Name: g.Name, Err: err}
 		}
 		align := l.alignOf(sym.Type)
 		if a, ok := dirs.AlignVar[g.Name]; ok && a > align {
@@ -187,7 +206,7 @@ func (l *Layout) ArenaStart(p int64) int64 { return l.ArenaBase + p*l.ArenaSize 
 func (l *Layout) SizeOf(t *types.Type) (int64, error) {
 	switch t.Kind {
 	case types.Int, types.Double, types.Pointer, types.LockT:
-		return t.ScalarSize(), nil
+		return t.ScalarSize()
 	case types.StructK:
 		sl := l.Structs[t.Struct.Name]
 		if sl == nil {
@@ -266,9 +285,9 @@ func (l *Layout) structLayout(name string, visiting map[string]bool) (*StructLay
 func (l *Layout) fieldSize(t *types.Type, visiting map[string]bool) (size, align int64, err error) {
 	switch t.Kind {
 	case types.Int, types.LockT:
-		return t.ScalarSize(), 4, nil
+		return t.MustScalarSize(), 4, nil
 	case types.Double, types.Pointer:
-		return t.ScalarSize(), 8, nil
+		return t.MustScalarSize(), 8, nil
 	case types.Array:
 		dims, ok := types.ArrayDims(t, l.Nprocs)
 		if !ok {
@@ -299,7 +318,7 @@ func (l *Layout) varLayout(sym *types.Symbol) (*VarLayout, error) {
 	t := sym.Type
 	dims, ok := types.ArrayDims(t, l.Nprocs)
 	if !ok && t.Kind == types.Array {
-		return nil, fmt.Errorf("layout: global %q has non-constant extent", sym.Name)
+		return nil, fmt.Errorf("non-constant extent")
 	}
 	vl.Dims = dims
 
@@ -309,11 +328,15 @@ func (l *Layout) varLayout(sym *types.Symbol) (*VarLayout, error) {
 	case types.StructK:
 		sl := l.Structs[elem.Struct.Name]
 		if sl == nil {
-			return nil, fmt.Errorf("layout: unknown struct %q", elem.Struct.Name)
+			return nil, fmt.Errorf("unknown struct %q", elem.Struct.Name)
 		}
 		esize = sl.Size
 	default:
-		esize = elem.ScalarSize()
+		var err error
+		esize, err = elem.ScalarSize()
+		if err != nil {
+			return nil, err
+		}
 	}
 	vl.ElemSize = esize
 

@@ -1,13 +1,43 @@
 package transform
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
+	"falseshare/internal/faultinject"
 	"falseshare/internal/lang/ast"
 	"falseshare/internal/lang/token"
 	"falseshare/internal/lang/types"
 	"falseshare/internal/layout"
 )
+
+// DecisionFailure records one decision whose application failed — an
+// error, an injected fault, or a contained panic. The restructurer
+// turns failures into per-object degradations (the object keeps its
+// identity layout) instead of failing the whole compile.
+type DecisionFailure struct {
+	Decision *Decision
+	Err      error
+	Panicked bool
+	Stack    []byte // panic stack (Panicked only)
+}
+
+func (f *DecisionFailure) Error() string {
+	if f.Panicked {
+		return fmt.Sprintf("apply %s: panic: %v", f.Decision, f.Err)
+	}
+	return fmt.Sprintf("apply %s: %v", f.Decision, f.Err)
+}
+
+func (f *DecisionFailure) Unwrap() error { return f.Err }
+
+// Outcome is the result of one ApplySafe pass.
+type Outcome struct {
+	Dirs    *layout.Directives
+	Applied []*Decision
+	Failed  []*DecisionFailure
+}
 
 // Apply executes a transformation plan: it mutates the AST (dimension
 // swaps, reshapes, grouping, indirection) and emits layout directives
@@ -18,8 +48,32 @@ import (
 // rewrite cannot cover) are dropped and recorded in plan.Skipped —
 // transformations must apply universally or not at all (paper §2).
 // The returned slice holds the decisions actually applied.
+//
+// Apply fails fast: the first decision failure (including a contained
+// panic) aborts with its error. Callers that want per-object
+// degradation use ApplySafe.
 func Apply(file *ast.File, info *types.Info, plan *Plan, blockSize int64, nprocs int64) (*layout.Directives, []*Decision, error) {
+	out := ApplySafe(nil, file, info, plan, blockSize, nprocs, nil)
+	if len(out.Failed) > 0 {
+		return nil, nil, out.Failed[0]
+	}
+	return out.Dirs, out.Applied, nil
+}
+
+// ApplySafe executes a plan with per-decision fault containment: each
+// decision runs under recover and its transform.apply fault point, and
+// a failing decision is recorded in Outcome.Failed while the remaining
+// decisions still apply. skip, when non-nil, excludes decisions up
+// front (the restructurer's degradation loop passes the already
+// degraded set).
+//
+// CAUTION: a decision that fails mid-rewrite may leave the AST
+// partially mutated. When Outcome.Failed is non-empty the caller must
+// rebuild from a fresh parse with those decisions excluded rather than
+// use the mutated file. ctx is only consulted by fault points.
+func ApplySafe(ctx context.Context, file *ast.File, info *types.Info, plan *Plan, blockSize int64, nprocs int64, skip func(*Decision) bool) *Outcome {
 	a := &applier{
+		ctx:    ctx,
 		file:   file,
 		info:   info,
 		plan:   plan,
@@ -27,25 +81,30 @@ func Apply(file *ast.File, info *types.Info, plan *Plan, blockSize int64, nprocs
 		nprocs: nprocs,
 		block:  blockSize,
 	}
-	var applied []*Decision
+	out := &Outcome{Dirs: a.dirs}
 	// Order: padding first (pure directives), then grouping/reshaping
 	// (declaration + subscript rewrites), then indirection (type +
 	// access rewrites + allocation-site injection).
 	for _, kind := range []Kind{KindLockPad, KindPadAlign, KindGroupTranspose, KindIndirection} {
 		for _, d := range plan.ByKind(kind) {
-			ok, err := a.apply(d)
-			if err != nil {
-				return nil, nil, err
+			if skip != nil && skip(d) {
+				continue
+			}
+			ok, failure := a.applyOne(d)
+			if failure != nil {
+				out.Failed = append(out.Failed, failure)
+				continue
 			}
 			if ok {
-				applied = append(applied, d)
+				out.Applied = append(out.Applied, d)
 			}
 		}
 	}
-	return a.dirs, applied, nil
+	return out
 }
 
 type applier struct {
+	ctx    context.Context
 	file   *ast.File
 	info   *types.Info
 	plan   *Plan
@@ -53,6 +112,39 @@ type applier struct {
 	nprocs int64
 	block  int64
 	gtSeq  int
+}
+
+// applyOne runs a single decision under panic containment and its
+// fault point.
+func (a *applier) applyOne(d *Decision) (ok bool, failure *DecisionFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+			failure = &DecisionFailure{
+				Decision: d,
+				Err:      fmt.Errorf("%v", r),
+				Panicked: true,
+				Stack:    debug.Stack(),
+			}
+		}
+	}()
+	if err := faultinject.Fire(a.ctx, "transform.apply", d.TargetKey()); err != nil {
+		return false, &DecisionFailure{Decision: d, Err: err}
+	}
+	ok, err := a.apply(d)
+	if err != nil {
+		return false, &DecisionFailure{Decision: d, Err: err}
+	}
+	return ok, nil
+}
+
+// corrupted reports whether the transform.corrupt fault point fires
+// for this decision: a firing point makes the applier emit a
+// deliberately WRONG rewrite (a seeded miscompile) so tests can prove
+// the translation validator catches it. Never fires in production —
+// the point only exists under an enabled fault set.
+func (a *applier) corrupted(d *Decision) bool {
+	return faultinject.Fire(a.ctx, "transform.corrupt", d.TargetKey()) != nil
 }
 
 func (a *applier) skip(d *Decision, reason string) (bool, error) {
@@ -182,12 +274,15 @@ func (a *applier) applyGroup(d *Decision) (bool, error) {
 
 	a.dirs.PadElem[varName] = a.block
 	a.dirs.AlignVar[varName] = a.block
+	d.GroupVar = varName
+	d.GroupStruct = structName
 
 	// Rewrite a[e] -> gtv[e].a for every grouped vector.
 	targets := map[*types.Symbol]string{}
 	for _, name := range d.Arrays {
 		targets[a.info.Globals[name]] = name
 	}
+	corrupt := a.corrupted(d)
 	ast.RewriteFile(a.file, func(e ast.Expr) ast.Expr {
 		ix, ok := e.(*ast.IndexExpr)
 		if !ok {
@@ -201,9 +296,15 @@ func (a *applier) applyGroup(d *Decision) (bool, error) {
 		if !ok {
 			return e
 		}
+		index := ix.Index
+		if corrupt {
+			// Seeded miscompile: collapse every grouped access onto
+			// record 0, so all processes stomp one slot.
+			index = ast.NewInt(0)
+		}
 		return &ast.FieldExpr{
 			P:    ix.P,
-			X:    &ast.IndexExpr{P: ix.P, X: ast.NewIdent(varName), Index: ix.Index},
+			X:    &ast.IndexExpr{P: ix.P, X: ast.NewIdent(varName), Index: index},
 			Name: fieldName,
 		}
 	})
@@ -225,6 +326,12 @@ func (a *applier) applyTranspose(d *Decision) (bool, error) {
 	a.dirs.PadRow[name] = a.block
 	a.dirs.AlignVar[name] = a.block
 
+	if a.corrupted(d) {
+		// Seeded miscompile: the declaration was transposed but the
+		// subscripts were not rewritten, so every access lands at the
+		// mirrored element.
+		return true, nil
+	}
 	ast.RewriteFile(a.file, func(e ast.Expr) ast.Expr {
 		outer, ok := e.(*ast.IndexExpr)
 		if !ok {
@@ -279,6 +386,15 @@ func (a *applier) applyReshape(d *Decision) (bool, error) {
 	a.dirs.AlignVar[name] = a.block
 
 	shape := d.Shape
+	if a.corrupted(d) {
+		// Seeded miscompile: emit the OTHER reshape's subscript mapping
+		// (cyclic <-> block), scattering each process's elements.
+		if shape == ShapeCyclic {
+			shape = ShapeBlock
+		} else {
+			shape = ShapeCyclic
+		}
+	}
 	ast.RewriteFile(a.file, func(e ast.Expr) ast.Expr {
 		ix, ok := e.(*ast.IndexExpr)
 		if !ok {

@@ -105,7 +105,45 @@ type Decision struct {
 	// Pad & align / lock parameters.
 	Globals []string // shared globals to pad (locks included)
 	HeapVia []string // shared global pointers whose heap elements pad
+
+	// GroupVar and GroupStruct are filled in by Apply for ShapeGroup
+	// decisions: the synthesized record array and struct names. The
+	// translation validator uses them to remap grouped vectors.
+	GroupVar    string
+	GroupStruct string
 }
+
+// Targets returns the shared global names the decision touches —
+// the arrays, padded globals and heap pointers from the plan, plus
+// the synthesized group variable once Apply has run. Indirection
+// decisions target struct fields, not globals; they contribute
+// "Struct.field" keys (callers that need the pointer globals reaching
+// that struct resolve them against their own type info).
+func (d *Decision) Targets() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(names ...string) {
+		for _, n := range names {
+			if n != "" && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	add(d.Arrays...)
+	add(d.Globals...)
+	add(d.HeapVia...)
+	add(d.GroupVar)
+	for _, f := range d.Fields {
+		add(d.Struct + "." + f)
+	}
+	return out
+}
+
+// TargetKey renders the targets as one comma-joined string — the
+// detail the transform.apply and transform.corrupt fault points fire
+// with, so chaos specs can select a single object by substring.
+func (d *Decision) TargetKey() string { return strings.Join(d.Targets(), ",") }
 
 // String renders the decision.
 func (d *Decision) String() string {

@@ -1,4 +1,4 @@
-package vm
+package vm_test
 
 import (
 	"context"
@@ -9,6 +9,7 @@ import (
 
 	"falseshare/internal/core"
 	"falseshare/internal/faultinject"
+	"falseshare/internal/vm"
 )
 
 // spinSource loops forever: the shape of a restructurer bug that
@@ -32,19 +33,19 @@ func TestStepBudgetExceeded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bc, err := Compile(prog.File, prog.Info, prog.Layout, 2)
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := New(bc)
+	m := vm.New(bc)
 	m.MaxInstrs = 50_000 // small cap so the test is instant
 	err = m.Run(nil)
 	if err == nil {
 		t.Fatal("runaway program terminated?")
 	}
-	var re *RunError
+	var re *vm.RunError
 	if !errors.As(err, &re) {
-		t.Fatalf("want *RunError, got %T: %v", err, err)
+		t.Fatalf("want *vm.RunError, got %T: %v", err, err)
 	}
 	msg := err.Error()
 	if !strings.Contains(msg, "step budget exceeded (50000 instrs)") || !strings.Contains(msg, "at pc=") {
@@ -59,11 +60,11 @@ func TestRunCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bc, err := Compile(prog.File, prog.Info, prog.Layout, 2)
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := New(bc)
+	m := vm.New(bc)
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	m.SetContext(ctx)
@@ -91,11 +92,11 @@ func TestRunFaultPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bc, err := Compile(prog.File, prog.Info, prog.Layout, 2)
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := New(bc)
+	m := vm.New(bc)
 	m.MaxInstrs = 1000
 	var fe *faultinject.Error
 	if err := m.Run(nil); !errors.As(err, &fe) {

@@ -131,7 +131,7 @@ func New(prog *Program) *Machine {
 	return m
 }
 
-/// SetContext makes the run cancellable: the scheduler polls ctx
+// / SetContext makes the run cancellable: the scheduler polls ctx
 // between rounds and Run returns ctx.Err() once it is cancelled. The
 // experiment pool routes per-job deadlines and Ctrl-C through here.
 func (m *Machine) SetContext(ctx context.Context) { m.ctx = ctx }
@@ -180,6 +180,24 @@ func (m *Machine) ReadInt(addr int64) int64 {
 // ReadDouble reads an 8-byte double from shared memory (for tests).
 func (m *Machine) ReadDouble(addr int64) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(m.mem[addr:]))
+}
+
+// ReadPtr reads an 8-byte pointer word from shared memory.
+func (m *Machine) ReadPtr(addr int64) int64 {
+	return int64(binary.LittleEndian.Uint64(m.mem[addr:]))
+}
+
+// AllocSpan returns the shared-heap allocation containing addr —
+// its start, end and element stride — or ok=false when addr lies in
+// no recorded allocation. The translation validator uses it to
+// enumerate the heap elements behind a shared pointer global.
+func (m *Machine) AllocSpan(addr int64) (start, end, stride int64, ok bool) {
+	for _, e := range m.heapAllocs {
+		if addr >= e.start && addr < e.end {
+			return e.start, e.end, e.stride, true
+		}
+	}
+	return 0, 0, 0, false
 }
 
 // Run executes the program to completion, passing every shared memory

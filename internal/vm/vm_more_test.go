@@ -1,10 +1,11 @@
-package vm
+package vm_test
 
 import (
 	"reflect"
 	"testing"
 
 	"falseshare/internal/core"
+	"falseshare/internal/vm"
 )
 
 func TestForallExecution(t *testing.T) {
@@ -46,17 +47,17 @@ void main() {
     release(l);
 }
 `
-	runOnce := func() []Ref {
+	runOnce := func() []vm.Ref {
 		prog, err := core.Compile(src, core.Options{Nprocs: 6, BlockSize: 64})
 		if err != nil {
 			t.Fatal(err)
 		}
-		bc, err := Compile(prog.File, prog.Info, prog.Layout, 6)
+		bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, 6)
 		if err != nil {
 			t.Fatal(err)
 		}
-		var trace []Ref
-		if err := New(bc).Run(func(r Ref) { trace = append(trace, r) }); err != nil {
+		var trace []vm.Ref
+		if err := vm.New(bc).Run(func(r vm.Ref) { trace = append(trace, r) }); err != nil {
 			t.Fatal(err)
 		}
 		return trace
@@ -190,11 +191,11 @@ void main() {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bc, err := Compile(prog.File, prog.Info, prog.Layout, 1)
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := New(bc)
+	m := vm.New(bc)
 	m.MaxInstrs = 100000
 	err = m.Run(nil)
 	if err == nil || !contains(err.Error(), "budget") {
@@ -248,7 +249,7 @@ void main() { x = 1 + 2; }
 	if err != nil {
 		t.Fatal(err)
 	}
-	bc, err := Compile(prog.File, prog.Info, prog.Layout, 1)
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

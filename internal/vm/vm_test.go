@@ -1,14 +1,15 @@
-package vm
+package vm_test
 
 import (
 	"testing"
 
 	"falseshare/internal/core"
+	"falseshare/internal/vm"
 )
 
 // run compiles and executes src with nprocs processes, returning the
 // machine and the collected trace.
-func run(t *testing.T, src string, nprocs int) (*Machine, []Ref, *core.Program) {
+func run(t *testing.T, src string, nprocs int) (*vm.Machine, []vm.Ref, *core.Program) {
 	t.Helper()
 	prog, err := core.Compile(src, core.Options{Nprocs: nprocs, BlockSize: 64})
 	if err != nil {
@@ -17,21 +18,21 @@ func run(t *testing.T, src string, nprocs int) (*Machine, []Ref, *core.Program) 
 	return runProgram(t, prog, nprocs)
 }
 
-func runProgram(t *testing.T, prog *core.Program, nprocs int) (*Machine, []Ref, *core.Program) {
+func runProgram(t *testing.T, prog *core.Program, nprocs int) (*vm.Machine, []vm.Ref, *core.Program) {
 	t.Helper()
-	bc, err := Compile(prog.File, prog.Info, prog.Layout, nprocs)
+	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
 	if err != nil {
 		t.Fatalf("vm compile: %v", err)
 	}
-	m := New(bc)
-	var trace []Ref
-	if err := m.Run(func(r Ref) { trace = append(trace, r) }); err != nil {
+	m := vm.New(bc)
+	var trace []vm.Ref
+	if err := m.Run(func(r vm.Ref) { trace = append(trace, r) }); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	return m, trace, prog
 }
 
-func globalInt(t *testing.T, m *Machine, prog *core.Program, name string, idx ...int64) int64 {
+func globalInt(t *testing.T, m *vm.Machine, prog *core.Program, name string, idx ...int64) int64 {
 	t.Helper()
 	vl := prog.Layout.Var(name)
 	if vl == nil {
@@ -314,15 +315,15 @@ void main() { p->v = 1; }`, "null pointer"},
 			if err != nil {
 				t.Fatalf("compile: %v", err)
 			}
-			bc, err := Compile(prog.File, prog.Info, prog.Layout, 2)
+			bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, 2)
 			if err != nil {
 				t.Fatalf("vm compile: %v", err)
 			}
-			err = New(bc).Run(nil)
+			err = vm.New(bc).Run(nil)
 			if err == nil {
 				t.Fatalf("expected runtime error containing %q", tc.want)
 			}
-			re, ok := err.(*RunError)
+			re, ok := err.(*vm.RunError)
 			if !ok {
 				t.Fatalf("error type %T", err)
 			}

@@ -18,7 +18,7 @@ package workload
 // four processes still share every block, so the hand optimization
 // buys almost nothing.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "fmm",
 		Description: "Fast multipole method (n-body)",
 		PaperLines:  4395,

@@ -14,7 +14,7 @@ package workload
 // from it. Padding the locks is essentially all the compiler finds,
 // which is why Table 3 shows C=12.3 only just ahead of P=12.0.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "locusroute",
 		Description: "VLSI standard cell router",
 		PaperLines:  6709,

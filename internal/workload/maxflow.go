@@ -18,7 +18,7 @@ package workload
 //     remains after transformation — the reason Maxflow's total
 //     reduction stops at 56.5%.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "maxflow",
 		Description: "Maximum flow in a directed graph",
 		PaperLines:  810,

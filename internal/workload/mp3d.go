@@ -15,7 +15,7 @@ package workload
 //   - coll_lock sits right next to the collision counter it protects
 //     (§5: "Mp3d suffered from both"); the compiler pads it away.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "mp3d",
 		Description: "Rarefied fluid flow",
 		PaperLines:  1653,

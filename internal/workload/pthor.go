@@ -8,7 +8,7 @@ package workload
 // programmer's misses: group & transpose on the per-process queue
 // heads/tails and pad & align on the global event counter.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "pthor",
 		Description: "Circuit simulator",
 		PaperLines:  9420,

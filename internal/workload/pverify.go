@@ -23,7 +23,7 @@ package workload
 // six-fold record footprint costs capacity misses. P lands between N
 // and C, the paper's "falls in between" case.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "pverify",
 		Description: "Logical verification",
 		PaperLines:  2759,

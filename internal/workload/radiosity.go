@@ -20,7 +20,7 @@ package workload
 // suffered from both". That is why P's maximum speedup (7.4 at 8)
 // barely beats N's (7.0 at 8) while C reaches 19.2 at 28.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "radiosity",
 		Description: "Equilibrium distribution of light",
 		PaperLines:  10908,

@@ -21,7 +21,7 @@ package workload
 // scene reads. P lands just below C (9.2 vs 9.6 at 12), the paper's
 // "comparable" case.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "raytrace",
 		Description: "Rendering of 3-dimensional scene",
 		PaperLines:  12391,

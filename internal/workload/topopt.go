@@ -23,7 +23,7 @@ package workload
 // that nevertheless help, matching the paper's nearly equal P and C
 // maxima (10.2 vs 10.3).
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "topopt",
 		Description: "Topological optimization",
 		PaperLines:  2206,

@@ -15,7 +15,7 @@ package workload
 //   - Neighbour interactions read across chunk boundaries: bounded
 //     true sharing that correctly survives restructuring.
 func init() {
-	register(&Benchmark{
+	MustRegister(&Benchmark{
 		Name:        "water",
 		Description: "N-body molecular dynamics",
 		PaperLines:  1451,

@@ -149,3 +149,24 @@ func containsString(list []string, s string) bool {
 	}
 	return false
 }
+
+func TestRegisterDuplicate(t *testing.T) {
+	if err := Register(&Benchmark{Name: "maxflow"}); err == nil {
+		t.Fatalf("Register of a duplicate name should error")
+	}
+	if err := Register(&Benchmark{}); err == nil {
+		t.Fatalf("Register without a name should error")
+	}
+	if err := Register(&Benchmark{Name: "reg-test-tmp"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if !Unregister("reg-test-tmp") || Unregister("reg-test-tmp") {
+		t.Fatalf("Unregister bookkeeping wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("MustRegister of a duplicate should panic")
+		}
+	}()
+	MustRegister(&Benchmark{Name: "maxflow"})
+}
