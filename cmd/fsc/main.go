@@ -7,15 +7,18 @@
 //	fsc [-p N] [-b BLOCK] [-summary] [-pdv] [-plan] [-src] file.parc
 //	fsc -bench NAME ...      # use a bundled benchmark as input
 //	fsc -bench NAME -report run.json -v    # machine-readable manifest
+//	fsc -bench NAME -diag    # simulate both versions, attribute the FS delta
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"falseshare/internal/core"
+	"falseshare/internal/experiments"
 	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
 	"falseshare/internal/workload"
@@ -32,6 +35,7 @@ func main() {
 		plan    = flag.Bool("plan", true, "print the transformation plan")
 		src     = flag.Bool("src", false, "print the transformed source")
 		verify  = flag.Bool("verify", false, "translation-validate the transformed program against the original (safe mode: failing objects degrade to the identity layout)")
+		diag    = flag.Bool("diag", false, "simulate both versions at -b and attribute the false-sharing delta to the applied decisions")
 
 		faults  = flag.String("faults", "", "deterministic fault-injection spec (testing; e.g. transform.corrupt:error to seed a miscompile -verify must catch)")
 		report  = flag.String("report", "", "write a JSON run manifest (per-stage timings and counters) to this file")
@@ -122,6 +126,32 @@ func main() {
 		} else {
 			fmt.Println("0 objects degraded")
 		}
+	}
+
+	// The diagnosis closes the loop on the plan above: it executes both
+	// programs through the simulator with miss attribution installed
+	// and shows which objects' false-sharing misses each decision
+	// actually eliminated.
+	if *diag {
+		ctx := context.Background()
+		name := *bench
+		if name == "" {
+			name = flag.Arg(0)
+		}
+		_, before, err := experiments.Diagnose(ctx, res.Original, *block, 0)
+		if err != nil {
+			fatal(fmt.Errorf("diagnose original: %w", err))
+		}
+		_, after, err := experiments.Diagnose(ctx, res.Transformed, *block, 0)
+		if err != nil {
+			fatal(fmt.Errorf("diagnose transformed: %w", err))
+		}
+		fmt.Println("--- miss attribution: original ---")
+		fmt.Print(before.Render())
+		fmt.Println("--- miss attribution: transformed ---")
+		fmt.Print(after.Render())
+		fmt.Println("--- diagnosis ---")
+		fmt.Print(experiments.RenderDiagPair(name, *block, before, after, res.Applied))
 	}
 
 	if *report != "" {

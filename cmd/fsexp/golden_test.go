@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 
 	"falseshare/internal/experiments"
+	"falseshare/internal/sim/ksr"
 )
 
 // update rewrites the golden files instead of comparing:
@@ -84,6 +86,49 @@ func TestGoldenTable2Output(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("fsexp -table2 output drifted from %s (refresh with -update if intended):\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
+// TestGoldenFig4Output pins the exact text `fsexp -fig4` prints on the
+// -scale-min sweep, mirroring the fig3 and table2 golden tests: the
+// header line plus one RenderCurves block per program in sorted order,
+// exactly as main() assembles them.
+func TestGoldenFig4Output(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Workers = 4 // golden output must not depend on parallelism
+	cfg.SweepCounts = []int{1, 2, 4}
+	curves, err := experiments.Figure4(cfg, ksr.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(curves))
+	for n := range curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	got := "Figure 4: speedup curves (N=unoptimized C=compiler P=programmer)\n"
+	for _, n := range names {
+		got += experiments.RenderCurves(curves[n]) + "\n"
+	}
+
+	golden := filepath.Join("testdata", "fig4.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/fsexp -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("fsexp -fig4 output drifted from %s (refresh with -update if intended):\n%s",
 			golden, diffLines(string(want), got))
 	}
 }

@@ -74,6 +74,7 @@ func main() {
 		retries    = flag.Int("retries", 0, "retry a transiently failed cell up to this many times")
 		stepBudget = flag.Int64("step-budget", 0, "per-process VM instruction cap (0 = the VM default of 1e9)")
 		verifyRuns = flag.Bool("verify", false, "translation-validate every compiler-restructured cell; failing objects degrade to the identity layout and are reported")
+		diagRuns   = flag.Bool("diag", false, "attribute misses to objects in every fig3/table2 cell and print which objects' false sharing each transformation eliminated")
 		faults     = flag.String("faults", "", "deterministic fault-injection spec (testing; see internal/faultinject)")
 
 		reportDir = flag.String("reportdir", "", "write one JSON run manifest per figure/table into this directory")
@@ -116,6 +117,7 @@ func main() {
 	cfg.Workers = *jobs
 	cfg.StepBudget = *stepBudget
 	cfg.Verify = *verifyRuns
+	cfg.Diag = *diagRuns
 	cfg.Policy = pool.Policy{
 		FailFast:   !*keepGoing,
 		JobTimeout: *jobTimeout,
@@ -195,6 +197,7 @@ func main() {
 		var v any
 		var err error
 		seenDegraded := len(experiments.DegradedEvents())
+		seenDiag := len(experiments.DiagCells())
 		if *reportDir == "" {
 			v, err = fn()
 		} else {
@@ -211,6 +214,11 @@ func main() {
 					degraded[e.Key] = e.Objects
 				}
 				rep.AddData("degraded", degraded)
+			}
+			if cells := experiments.DiagCells(); len(cells) > seenDiag {
+				// Miss attribution ran in this section: record each
+				// cell's per-object report alongside the results.
+				rep.AddData("attribution", cells[seenDiag:])
 			}
 			path, werr := experiments.WriteManifest(*reportDir, name, rep)
 			if werr != nil {
@@ -288,6 +296,15 @@ func main() {
 		check(experiments.WriteBenchReport(*benchout, rep))
 		fmt.Println(experiments.RenderBench(rep))
 		fmt.Fprintf(os.Stderr, "fsexp: bench report -> %s\n", *benchout)
+	}
+
+	// Aggregate diagnosis: pair each section's unoptimized and
+	// transformed attribution cells and show, per applied decision,
+	// the false-sharing misses the transformation eliminated.
+	if *diagRuns {
+		if cells := experiments.DiagCells(); len(cells) > 0 {
+			fmt.Println(experiments.RenderDiag(cells))
+		}
 	}
 
 	if *memprof != "" {

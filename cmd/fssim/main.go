@@ -9,10 +9,12 @@
 //	fssim -bench mp3d -save-trace mp3d.trc     # store the reference trace
 //	fssim -replay mp3d.trc -blocks 32,256      # re-simulate a stored trace
 //	fssim -bench pverify -report run.json -v   # machine-readable manifest
+//	fssim -bench maxflow -diag                 # attribute misses to objects
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +30,7 @@ import (
 	"falseshare/internal/experiments"
 	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
+	"falseshare/internal/sim/attr"
 	"falseshare/internal/sim/cache"
 	"falseshare/internal/sim/trace"
 	"falseshare/internal/vm"
@@ -46,8 +49,10 @@ func main() {
 		bench       = flag.String("bench", "", "run a bundled benchmark instead of a file")
 		scale       = flag.Int("scale", 1, "workload scale for -bench")
 		transformed = flag.Bool("transformed", false, "run the compiler-restructured version")
-		saveTrace   = flag.String("save-trace", "", "also store the reference trace to this file")
+		saveTrace   = flag.String("save-trace", "", "also store the reference trace to this file (plus its address-map sidecar)")
 		replay      = flag.String("replay", "", "simulate a stored trace instead of executing a program")
+		diag        = flag.Bool("diag", false, "attribute misses to objects and fields; prints per-block false-sharing tables (implies -j 1)")
+		statsJSON   = flag.String("stats-json", "", "write the full per-block cache statistics (including per-processor counters) as JSON to this file")
 
 		stepBudget = flag.Int64("step-budget", 0, "per-process VM instruction cap (0 = the VM default of 1e9)")
 		faults     = flag.String("faults", "", "deterministic fault-injection spec (testing; see internal/faultinject)")
@@ -116,6 +121,13 @@ func main() {
 		blocks = append(blocks, v)
 	}
 
+	// Attribution resolves every miss through one shared, lazily grown
+	// address map, so the per-block simulators must consume the stream
+	// on a single goroutine.
+	if *diag {
+		*jobs = 1
+	}
+
 	var perBlock []experiments.BlockStats
 
 	// Replay mode: drive the simulators from a stored trace (the
@@ -129,6 +141,16 @@ func main() {
 		sims, err := newSims(*nprocs, blocks, *verbose)
 		if err != nil {
 			fatal(err)
+		}
+		// A stored trace is a bare reference stream; attribution needs
+		// the address map the capturing run saved alongside it.
+		var colls []*attr.Collector
+		if *diag {
+			amap, err := attr.LoadMap(trace.MapSidecar(*replay))
+			if err != nil {
+				fatal(fmt.Errorf("-diag needs the trace's address-map sidecar (re-capture with -save-trace to produce it): %w", err))
+			}
+			colls = attachCollectors(amap, sims, blocks)
 		}
 		sinks := make([]trace.Sink, len(sims))
 		for i, s := range sims {
@@ -173,6 +195,8 @@ func main() {
 			fmt.Printf("block %3d: %s", blocks[i], s.Stats().String())
 			perBlock = append(perBlock, experiments.NewBlockStats(s.Stats()))
 		}
+		printDiag(colls, blocks, *nprocs)
+		writeStatsJSON(*statsJSON, perBlock)
 		writeReport(rec, *report, map[string]any{
 			"nprocs": *nprocs, "blocks": blocks, "replay": *replay, "jobs": *jobs,
 		}, perBlock, *verbose)
@@ -209,7 +233,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		stats, err := runAndReport(ctx, prog, *nprocs, *jobs, *stepBudget, blocks, *saveTrace, *verbose)
+		stats, err := runAndReport(ctx, prog, *nprocs, *jobs, *stepBudget, blocks, *saveTrace, *diag, *verbose)
 		if err != nil {
 			fatal(err)
 		}
@@ -232,7 +256,7 @@ func main() {
 					fmt.Printf("note: transformed traces differ per block; block %d -> %s\n", blk, traceFile)
 				}
 			}
-			stats, err := runAndReport(ctx, res.Transformed, *nprocs, *jobs, *stepBudget, []int64{blk}, traceFile, *verbose)
+			stats, err := runAndReport(ctx, res.Transformed, *nprocs, *jobs, *stepBudget, []int64{blk}, traceFile, *diag, *verbose)
 			if err != nil {
 				fatal(err)
 			}
@@ -240,6 +264,7 @@ func main() {
 		}
 	}
 
+	writeStatsJSON(*statsJSON, perBlock)
 	writeReport(rec, *report, map[string]any{
 		"nprocs": *nprocs, "blocks": blocks, "bench": *bench, "scale": *scale,
 		"transformed": *transformed, "jobs": *jobs,
@@ -308,7 +333,7 @@ func fanout(j int, parent *obs.Span, blocks []int64, sinks ...trace.Sink) (trace
 // writer) each consume the stream on their own goroutine. ctx cancels
 // the VM mid-run; budget caps per-process instructions (0: VM
 // default).
-func runAndReport(ctx context.Context, prog *core.Program, nprocs, j int, budget int64, blocks []int64, traceFile string, verbose bool) ([]experiments.BlockStats, error) {
+func runAndReport(ctx context.Context, prog *core.Program, nprocs, j int, budget int64, blocks []int64, traceFile string, diag, verbose bool) ([]experiments.BlockStats, error) {
 	bc, err := vm.Compile(prog.File, prog.Info, prog.Layout, nprocs)
 	if err != nil {
 		return nil, err
@@ -316,6 +341,22 @@ func runAndReport(ctx context.Context, prog *core.Program, nprocs, j int, budget
 	sims, err := newSims(nprocs, blocks, verbose)
 	if err != nil {
 		return nil, err
+	}
+	m := vm.New(bc)
+	m.SetContext(ctx)
+	if budget > 0 {
+		m.MaxInstrs = budget
+	}
+	// The address map serves two consumers: live miss attribution
+	// (-diag) and the trace's replay sidecar (-save-trace).
+	var amap *attr.Map
+	var colls []*attr.Collector
+	if diag || traceFile != "" {
+		amap = attr.NewMap(prog.Layout)
+		amap.AttachMachine(m)
+	}
+	if diag {
+		colls = attachCollectors(amap, sims, blocks)
 	}
 	sinks := make([]trace.Sink, 0, len(blocks)+1)
 	for _, s := range sims {
@@ -334,11 +375,6 @@ func runAndReport(ctx context.Context, prog *core.Program, nprocs, j int, budget
 	}
 	sp := obs.Begin("measure")
 	sink, finish := fanout(j, sp, blocks, sinks...)
-	m := vm.New(bc)
-	m.SetContext(ctx)
-	if budget > 0 {
-		m.MaxInstrs = budget
-	}
 	runErr := m.Run(sink)
 	if err := finish(); runErr == nil {
 		runErr = err
@@ -353,13 +389,58 @@ func runAndReport(ctx context.Context, prog *core.Program, nprocs, j int, budget
 			return nil, err
 		}
 		fmt.Printf("trace: %d references -> %s\n", n, traceFile)
+		// The sidecar lets a later `fssim -replay trace -diag` resolve
+		// the stored addresses back to objects and fields.
+		side := trace.MapSidecar(traceFile)
+		if err := amap.WriteFile(side); err != nil {
+			return nil, fmt.Errorf("address-map sidecar: %w", err)
+		}
+		fmt.Printf("address map -> %s\n", side)
 	}
 	out := make([]experiments.BlockStats, 0, len(sims))
 	for i, s := range sims {
 		fmt.Printf("block %3d: %s", blocks[i], s.Stats().String())
 		out = append(out, experiments.NewBlockStats(s.Stats()))
 	}
+	if diag {
+		amap.ResolveOwners()
+		printDiag(colls, blocks, nprocs)
+	}
 	return out, nil
+}
+
+// attachCollectors installs one miss attributor per simulator, all
+// resolving through the same address map (single-goroutine use only;
+// -diag forces -j 1).
+func attachCollectors(amap *attr.Map, sims []*cache.Sim, blocks []int64) []*attr.Collector {
+	colls := make([]*attr.Collector, len(sims))
+	for i, s := range sims {
+		colls[i] = attr.NewCollector(amap, blocks[i])
+		s.SetAttributor(colls[i])
+	}
+	return colls
+}
+
+// printDiag renders each block's attribution report.
+func printDiag(colls []*attr.Collector, blocks []int64, nprocs int) {
+	for i, c := range colls {
+		fmt.Printf("\n--- attribution, block %d ---\n%s", blocks[i], c.Report(nprocs).Render())
+	}
+}
+
+// writeStatsJSON dumps the full per-block statistics (the complete
+// counter set plus the per-processor decomposition) as JSON.
+func writeStatsJSON(path string, perBlock []experiments.BlockStats) {
+	if path == "" {
+		return
+	}
+	data, err := json.MarshalIndent(perBlock, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
 }
 
 // writeReport assembles and writes the run manifest when -report is

@@ -101,6 +101,11 @@ type Program struct {
 	Info   *types.Info
 	Layout *layout.Layout
 	Dirs   *layout.Directives
+	// Applied carries the restructuring decisions that produced this
+	// program (nil for untransformed compiles). The attribution layer
+	// joins per-object miss deltas against it, so the provenance
+	// travels with the program even when the Result is discarded.
+	Applied []*transform.Decision
 }
 
 // Result is the outcome of restructuring one program.
@@ -433,7 +438,7 @@ func buildTransformed(ctx context.Context, src string, opt Options, res *Result)
 			return fmt.Errorf("layout of transformed program: %w", err)
 		}
 
-		trans := &Program{Source: ast.Print(file), File: file, Info: newInfo, Layout: lay, Dirs: out.Dirs}
+		trans := &Program{Source: ast.Print(file), File: file, Info: newInfo, Layout: lay, Dirs: out.Dirs, Applied: applied}
 
 		if opt.Verify {
 			st = obs.Begin("verify")

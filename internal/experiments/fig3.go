@@ -60,11 +60,10 @@ func Figure3(cfg Config) ([]Fig3Cell, error) {
 						if err != nil {
 							return Fig3Cell{}, fmt.Errorf("fig3 %s/%s: %w", b.Name, ver, err)
 						}
-						stats, err := MeasureBlocksCtx(ctx, prog, []int64{blk}, 1, cfg.StepBudget)
+						st, err := cfg.measureCell(ctx, key, b.Name, ver, procs, blk, prog, cfg.Diag)
 						if err != nil {
 							return Fig3Cell{}, fmt.Errorf("fig3 %s/%s run: %w", b.Name, ver, err)
 						}
-						st := stats[0]
 						return Fig3Cell{
 							Program:     b.Name,
 							Version:     ver,

@@ -79,6 +79,12 @@ type Config struct {
 	// DegradedEvents. Cells replayed from the journal skip compilation
 	// and therefore record no events.
 	Verify bool
+	// Diag enables miss attribution for the Figure 3 and Table 2
+	// cells: each measured simulation carries an attr.Collector, and
+	// the per-object reports are recorded against the cell key — see
+	// DiagCells and RenderDiag. Like Verify, cells replayed from the
+	// journal skip measurement and record nothing.
+	Diag bool
 }
 
 // DefaultConfig returns the paper's experimental setup.
@@ -205,6 +211,7 @@ func MeasureBlocksCtx(ctx context.Context, prog *core.Program, blocks []int64, w
 	if budget > 0 {
 		m.MaxInstrs = budget
 	}
+	installMetrics(sims, blocks)
 
 	if pool.Workers(workers) == 1 || len(blocks) == 1 {
 		if err := m.Run(func(r vm.Ref) {
@@ -245,4 +252,32 @@ func MeasureBlocksCtx(ctx context.Context, prog *core.Program, blocks []int64, w
 		out[i] = s.Stats()
 	}
 	return out, nil
+}
+
+// metricsEvery is the streaming-metrics period in block references:
+// long simulations emit one obs metrics snapshot per interval so
+// multi-minute sweeps show live progress instead of going dark.
+const metricsEvery = 5_000_000
+
+// installMetrics wires each simulator's sampler to the current
+// recorder's metrics sink. The recorder is captured here because the
+// sharded path invokes samplers from worker goroutines with no
+// recorder binding of their own. No recorder: no sampler, and the
+// simulator hot path keeps its zero-cost disabled branch.
+func installMetrics(sims []*cache.Sim, blocks []int64) {
+	rec := obs.Current()
+	if rec == nil {
+		return
+	}
+	for i, s := range sims {
+		src := fmt.Sprintf("sim:b%d", blocks[i])
+		s.SetSampler(metricsEvery, func(st *cache.Stats) {
+			rec.EmitMetrics(src, map[string]int64{
+				"refs":   st.Refs,
+				"misses": st.Misses(),
+				"false":  st.FalseShare,
+				"true":   st.TrueShare,
+			})
+		})
+	}
 }

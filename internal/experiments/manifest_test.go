@@ -227,3 +227,48 @@ func TestRunManifest(t *testing.T) {
 		t.Fatalf("manifest is not valid JSON: %v", err)
 	}
 }
+
+// TestWriteManifestCreatesDir checks that -reportdir need not exist in
+// advance: WriteManifest creates the directory — including nested
+// paths — instead of erroring, and the manifest lands inside it.
+func TestWriteManifestCreatesDir(t *testing.T) {
+	rec := obs.NewRecorder()
+	rep := rec.Report("fsexp")
+	rep.AddData("result", []int{1, 2, 3})
+
+	for _, dir := range []string{
+		filepath.Join(t.TempDir(), "runs"),
+		filepath.Join(t.TempDir(), "deeply", "nested", "report", "dir"),
+	} {
+		path, err := WriteManifest(dir, "fig3", rep)
+		if err != nil {
+			t.Fatalf("WriteManifest(%s): %v", dir, err)
+		}
+		if want := filepath.Join(dir, "fig3.json"); path != want {
+			t.Errorf("manifest path = %s, want %s", path, want)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("manifest not written: %v", err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("manifest is not valid JSON: %v", err)
+		}
+	}
+
+	// Writing into an existing directory keeps working (idempotent
+	// MkdirAll), and a second manifest joins the first.
+	dir := t.TempDir()
+	if _, err := WriteManifest(dir, "a", rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteManifest(dir, "b", rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a.json", "b.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}

@@ -97,11 +97,16 @@ func Table2(cfg Config) ([]Table2Row, error) {
 				if err != nil {
 					return 0, fmt.Errorf("table2 %s %s: %w", b.Name, variant, err)
 				}
-				stats, err := MeasureBlocksCtx(ctx, prog, []int64{blk}, 1, cfg.StepBudget)
+				// Attribution covers the reference and the fully
+				// transformed variant; the single-transformation
+				// ablations stay plain (their deltas are Table 2's
+				// own columns).
+				diag := cfg.Diag && (variant == "N" || variant == "all")
+				st, err := cfg.measureCell(ctx, key, b.Name, ver, procs, blk, prog, diag)
 				if err != nil {
 					return 0, err
 				}
-				return stats[0].FalseShare, nil
+				return st.FalseShare, nil
 			},
 		})
 	}

@@ -1,0 +1,50 @@
+// Streaming metrics: periodic counter snapshots from long-running
+// work (the cache simulators' SetSampler hooks, sweep loops), so a
+// multi-minute experiment emits live progress lines instead of going
+// dark between span completions. Spans measure completed work;
+// metrics stream work in flight.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MetricsSink receives one snapshot: a source label ("sim:b64") and
+// the counters as of the snapshot. The map is owned by the caller and
+// only valid for the duration of the call — copy it to retain it.
+type MetricsSink func(source string, counters map[string]int64)
+
+// EmitMetrics streams one snapshot to the current recorder: its
+// OnMetrics sink when set, else a verbose progress line. Like Begin,
+// it is nil-safe and costs one lookup when no recorder is installed.
+func EmitMetrics(source string, counters map[string]int64) {
+	if r := Current(); r != nil {
+		r.EmitMetrics(source, counters)
+	}
+}
+
+// EmitMetrics streams one snapshot to this recorder. nil-safe.
+func (r *Recorder) EmitMetrics(source string, counters map[string]int64) {
+	if r == nil {
+		return
+	}
+	if r.OnMetrics != nil {
+		r.OnMetrics(source, counters)
+		return
+	}
+	if !r.Verbose {
+		return
+	}
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, " %s=%d", k, counters[k])
+	}
+	fmt.Fprintf(r.logw(), "obs: metrics %s%s\n", source, sb.String())
+}

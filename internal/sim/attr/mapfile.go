@@ -1,0 +1,105 @@
+// Map freezing: a Map can be serialized to a JSON sidecar next to a
+// saved trace, so replaying the trace later (a different process, no
+// compiler or machine in sight) can still attribute misses. Freezing
+// resolves heap owners first, so the file carries the complete
+// address space: globals, named heap spans, arenas.
+package attr
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MapSchema identifies the sidecar format.
+const MapSchema = "falseshare/addrmap/v1"
+
+type mapFile struct {
+	Schema    string             `json:"schema"`
+	Nprocs    int64              `json:"nprocs"`
+	HeapBase  int64              `json:"heap_base"`
+	ArenaBase int64              `json:"arena_base"`
+	ArenaSize int64              `json:"arena_size"`
+	End       int64              `json:"end"`
+	Entries   []entryJSON        `json:"entries"`
+	Structs   map[string][]Field `json:"structs,omitempty"`
+}
+
+type entryJSON struct {
+	Lo       int64   `json:"lo"`
+	Hi       int64   `json:"hi"`
+	Object   string  `json:"object"`
+	Kind     string  `json:"kind"`
+	Dims     []int64 `json:"dims,omitempty"`
+	Strides  []int64 `json:"strides,omitempty"`
+	ElemSize int64   `json:"elem_size,omitempty"`
+	Struct   string  `json:"struct,omitempty"`
+}
+
+// WriteFile freezes the map to path. With a machine attached the
+// heap owners are resolved first, so every allocation lands in the
+// file under its best-known name.
+func (m *Map) WriteFile(path string) error {
+	m.ResolveOwners()
+	f := mapFile{
+		Schema:    MapSchema,
+		Nprocs:    m.nprocs,
+		HeapBase:  m.heapBase,
+		ArenaBase: m.arenaBase,
+		ArenaSize: m.arenaSize,
+		End:       m.end,
+		Structs:   m.structs,
+	}
+	for _, id := range m.order {
+		e := &m.entries[id]
+		f.Entries = append(f.Entries, entryJSON{
+			Lo: e.lo, Hi: e.hi,
+			Object: e.object, Kind: e.kind,
+			Dims: e.dims, Strides: e.strides,
+			ElemSize: e.elemSize, Struct: e.structName,
+		})
+	}
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return fmt.Errorf("attr: marshal map: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadMap reads a frozen map. The result resolves statically — no
+// machine is attached, so addresses outside the recorded ranges fall
+// back to arena arithmetic or "(unmapped)".
+func LoadMap(path string) (*Map, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f mapFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("attr: parse map %s: %w", path, err)
+	}
+	if f.Schema != MapSchema {
+		return nil, fmt.Errorf("attr: %s: unsupported map schema %q", path, f.Schema)
+	}
+	m := &Map{
+		structs:   f.Structs,
+		heapBase:  f.HeapBase,
+		arenaBase: f.ArenaBase,
+		arenaSize: f.ArenaSize,
+		end:       f.End,
+		nprocs:    f.Nprocs,
+	}
+	if m.structs == nil {
+		m.structs = map[string][]Field{}
+	}
+	m.unmapped = m.addEntry(entry{lo: -1, hi: -1, object: "(unmapped)", kind: KindNone})
+	for _, ej := range f.Entries {
+		m.insert(entry{
+			lo: ej.Lo, hi: ej.Hi,
+			object: ej.Object, kind: ej.Kind,
+			dims: ej.Dims, strides: ej.Strides,
+			elemSize: ej.ElemSize, structName: ej.Struct,
+		})
+	}
+	return m, nil
+}

@@ -246,9 +246,15 @@ const (
 )
 
 // blockMeta tracks why a processor lost a block, for classification.
-// Stored by value inside metaTable pages.
+// Stored by value inside metaTable pages. lostBy and lostAddr record
+// the processor and address of the write that invalidated the copy;
+// they are maintained only while an Attributor is installed (the
+// classification itself never reads them) so the uninstalled hot path
+// stores nothing extra.
 type blockMeta struct {
 	lostAt    int64
+	lostAddr  int64
+	lostBy    int32
 	seen      bool
 	resident  bool
 	lostByInv bool
@@ -493,6 +499,36 @@ type Sim struct {
 	// progress.
 	sampleEvery int64
 	sampler     func(*Stats)
+
+	// Attribution hook (SetAttributor). Like the sampler and the obs
+	// recorder, a nil hook costs a single predictable branch on the
+	// miss and invalidation paths and nothing on hits.
+	attr Attributor
+}
+
+// Attributor receives miss-provenance events from the simulator. It
+// is the bridge to the attribution layer (internal/sim/attr): the
+// simulator reports raw processors and addresses, the attributor maps
+// them back to objects and fields.
+//
+// OnMiss fires once per non-hit block-level access (block-spanning
+// references fire once per covered block, matching how Stats count).
+// For sharing misses, writer is the processor whose write caused the
+// miss and writerAddr the address it wrote: for true sharing the most
+// recent remote write to a word the access covers, for false sharing
+// the write that invalidated this processor's copy. For cold and
+// replacement misses writer is -1.
+//
+// OnInvalidate fires once per cache line invalidated in another
+// processor's cache: writer performed the write of [addr, addr+size)
+// that cost victim its copy (in WordInvalidate mode, its copy of the
+// written words).
+//
+// Callbacks run synchronously on the Access path; implementations
+// must be fast and must not call back into the Sim.
+type Attributor interface {
+	OnMiss(proc int, addr, size int64, write bool, kind MissKind, writer int, writerAddr int64)
+	OnInvalidate(writer int, addr, size int64, victim int)
 }
 
 // New builds a simulator. The configuration is validated first (see
@@ -550,6 +586,12 @@ func (s *Sim) SetSampler(n int64, fn func(*Stats)) {
 	s.sampleEvery = n
 	s.sampler = fn
 }
+
+// SetAttributor installs the attribution hook (nil uninstalls it).
+// Install it before the first Access: writer provenance for false
+// sharing is recorded at invalidation time, so misses whose
+// invalidation predates installation report writer -1.
+func (s *Sim) SetAttributor(a Attributor) { s.attr = a }
 
 // Access simulates one memory reference, splitting it at block
 // boundaries if necessary (an 8-byte access with 4-byte blocks spans
@@ -621,12 +663,19 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 			if s.heldElsewhere(proc, block) {
 				s.stats.ProcRemote[proc]++
 			}
+			if s.attr != nil {
+				wr, wa, ok := s.lastOtherWriter(proc, addr, size, 1)
+				if !ok {
+					wr, wa = -1, 0
+				}
+				s.attr.OnMiss(proc, addr, size, write, TrueSharing, wr, wa)
+			}
 			return TrueSharing
 		}
 		ln.lru = s.time
 		if write && ln.state == stateShared {
 			s.stats.Upgrades++
-			s.invalidateOthers(proc, block)
+			s.invalidateOthers(proc, block, addr, size)
 			ln.state = stateModified
 		}
 		if write {
@@ -642,20 +691,38 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 
 	// Miss: classify.
 	bm := s.meta[proc].at(block)
+	missWriter, missWriterAddr := -1, int64(0)
 	switch {
 	case !bm.seen:
 		kind = Cold
 		s.stats.Cold++
 		s.stats.ProcCold[proc]++
 	case bm.lostByInv:
-		if s.modifiedByOtherSince(proc, addr, size, bm.lostAt) {
+		if s.attr == nil {
+			if s.modifiedByOtherSince(proc, addr, size, bm.lostAt) {
+				kind = TrueSharing
+				s.stats.TrueShare++
+				s.stats.ProcTS[proc]++
+			} else {
+				kind = FalseSharing
+				s.stats.FalseShare++
+				s.stats.ProcFS[proc]++
+			}
+		} else if wr, wa, ok := s.lastOtherWriter(proc, addr, size, bm.lostAt); ok {
+			// Same scan as modifiedByOtherSince, but it keeps the
+			// writer: a covered word was remotely written, so the miss
+			// is true sharing attributed to that write.
 			kind = TrueSharing
 			s.stats.TrueShare++
 			s.stats.ProcTS[proc]++
+			missWriter, missWriterAddr = wr, wa
 		} else {
 			kind = FalseSharing
 			s.stats.FalseShare++
 			s.stats.ProcFS[proc]++
+			// Only other words changed: blame the invalidating write
+			// recorded when the copy was lost.
+			missWriter, missWriterAddr = int(bm.lostBy), bm.lostAddr
 		}
 	default:
 		kind = Replacement
@@ -665,6 +732,9 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	s.stats.ProcMisses[proc]++
 	if s.heldElsewhere(proc, block) {
 		s.stats.ProcRemote[proc]++
+	}
+	if s.attr != nil {
+		s.attr.OnMiss(proc, addr, size, write, kind, missWriter, missWriterAddr)
 	}
 
 	// Fill: evict the LRU way.
@@ -694,7 +764,7 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	st := stateShared
 	if write {
 		st = stateModified
-		s.invalidateOthers(proc, block)
+		s.invalidateOthers(proc, block, addr, size)
 		if s.cfg.WordInvalidate {
 			s.invalidateWords(proc, block, addr, size)
 		}
@@ -710,10 +780,12 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 }
 
 // invalidateOthers removes the block from every other processor's
-// cache, marking the loss as invalidation for classification. Callers
-// in WordInvalidate mode use invalidateWords instead for data writes;
-// this whole-line variant remains for fills acquiring ownership.
-func (s *Sim) invalidateOthers(proc int, block int64) {
+// cache, marking the loss as invalidation for classification. addr
+// and size identify the write responsible; they feed the attribution
+// hook and are otherwise unused. Callers in WordInvalidate mode use
+// invalidateWords instead for data writes; this whole-line variant
+// remains for fills acquiring ownership.
+func (s *Sim) invalidateOthers(proc int, block, addr, size int64) {
 	if s.cfg.WordInvalidate {
 		// Ownership transfers still happen, but copies stay readable
 		// for their valid words; nothing to do here (the written
@@ -735,6 +807,11 @@ func (s *Sim) invalidateOthers(proc int, block int64) {
 					bm.resident = false
 					bm.lostByInv = true
 					bm.lostAt = s.time
+					if s.attr != nil {
+						bm.lostBy = int32(proc)
+						bm.lostAddr = addr
+						s.attr.OnInvalidate(proc, addr, size, p)
+					}
 				}
 			}
 		}
@@ -754,6 +831,11 @@ func (s *Sim) invalidateOthers(proc int, block int64) {
 				bm.resident = false
 				bm.lostByInv = true
 				bm.lostAt = s.time
+				if s.attr != nil {
+					bm.lostBy = int32(proc)
+					bm.lostAddr = addr
+					s.attr.OnInvalidate(proc, addr, size, p)
+				}
 			}
 		}
 	}
@@ -788,6 +870,9 @@ func (s *Sim) invalidateWords(proc int, block, addr, size int64) {
 				if ways[w].valid && ways[w].tag == block {
 					if ways[w].invMask&wbits != wbits {
 						s.stats.Invalidations++
+						if s.attr != nil {
+							s.attr.OnInvalidate(proc, addr, size, p)
+						}
 					}
 					ways[w].invMask |= wbits
 				}
@@ -804,6 +889,9 @@ func (s *Sim) invalidateWords(proc int, block, addr, size int64) {
 			if ways[w].valid && ways[w].tag == block {
 				if ways[w].invMask&wbits != wbits {
 					s.stats.Invalidations++
+					if s.attr != nil {
+						s.attr.OnInvalidate(proc, addr, size, p)
+					}
 				}
 				ways[w].invMask |= wbits
 			}
@@ -850,6 +938,22 @@ func (s *Sim) modifiedByOtherSince(proc int, addr, size, t int64) bool {
 		}
 	}
 	return false
+}
+
+// lastOtherWriter is modifiedByOtherSince with provenance: it returns
+// the processor and word address of the most recent qualifying remote
+// write, for the attribution hook.
+func (s *Sim) lastOtherWriter(proc int, addr, size, t int64) (writer int, waddr int64, ok bool) {
+	best := int64(0)
+	for w := addr / WordSize; w <= (addr+size-1)/WordSize; w++ {
+		if st := s.words.get(w); st.time >= t && st.writer != int32(proc) && st.time > best {
+			best = st.time
+			writer = int(st.writer)
+			waddr = w * WordSize
+			ok = true
+		}
+	}
+	return writer, waddr, ok
 }
 
 func min64(a, b int64) int64 {

@@ -105,6 +105,15 @@ const (
 
 var magic = [4]byte{'F', 'S', 'T', 'R'}
 
+// MapSidecar names the address-map sidecar conventionally stored next
+// to a trace file. A trace is a bare reference stream; replaying it
+// with miss attribution needs the address→(object, field) map that
+// existed at capture time, which the capturing tool saves at this
+// path (see attr.Map.WriteFile) and the replaying tool loads from it.
+func MapSidecar(tracePath string) string {
+	return tracePath + ".map.json"
+}
+
 // Writer streams references into an io.Writer.
 type Writer struct {
 	w   *bufio.Writer

@@ -200,6 +200,26 @@ func (m *Machine) AllocSpan(addr int64) (start, end, stride int64, ok bool) {
 	return 0, 0, 0, false
 }
 
+// Span describes one recorded allocation: [Start, End) with element
+// stride Stride (padded heap blocks keep the padded stride).
+type Span struct {
+	Start  int64 `json:"start"`
+	End    int64 `json:"end"`
+	Stride int64 `json:"stride"`
+}
+
+// AllocSpans returns every shared-heap allocation in allocation
+// order. The attribution layer uses it to freeze a complete
+// address→object map after a run, covering spans no miss happened to
+// touch.
+func (m *Machine) AllocSpans() []Span {
+	out := make([]Span, len(m.heapAllocs))
+	for i, e := range m.heapAllocs {
+		out[i] = Span{Start: e.start, End: e.end, Stride: e.stride}
+	}
+	return out
+}
+
 // Run executes the program to completion, passing every shared memory
 // reference to sink (which may be nil). The scheduler grants turns
 // round-robin; each turn advances a process until it issues one shared
