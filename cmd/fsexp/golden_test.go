@@ -133,6 +133,42 @@ func TestGoldenFig4Output(t *testing.T) {
 	}
 }
 
+// TestGoldenMatrixOutput pins the exact text `fsexp -matrix` prints on
+// a small generated population (the -scale-min program sizes): the
+// aggregated protocol × topology grid plus the pattern summary. The
+// generator and simulation are both deterministic, so the file is
+// stable across runs, worker counts, and platforms.
+func TestGoldenMatrixOutput(t *testing.T) {
+	cfg := experiments.DefaultConfig()
+	cfg.Workers = 4 // golden output must not depend on parallelism
+	opt := experiments.MatrixOptions{Workloads: 8, Seed: 1, Procs: 8, Block: 64, ScaleMin: true}
+	cells, err := experiments.Matrix(cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := experiments.RenderMatrix(cells) + "\n"
+
+	golden := filepath.Join("testdata", "matrix.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/fsexp -run Golden -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("fsexp -matrix output drifted from %s (refresh with -update if intended):\n%s",
+			golden, diffLines(string(want), got))
+	}
+}
+
 // diffLines renders a minimal line diff for the failure message.
 func diffLines(want, got string) string {
 	w, g := splitLines(want), splitLines(got)

@@ -39,6 +39,7 @@ import (
 	"os/signal"
 	"runtime"
 	"sort"
+	"strings"
 	"syscall"
 
 	"falseshare/internal/experiments"
@@ -46,6 +47,7 @@ import (
 	"falseshare/internal/experiments/pool"
 	"falseshare/internal/faultinject"
 	"falseshare/internal/obs"
+	"falseshare/internal/sim/cache"
 	"falseshare/internal/sim/ksr"
 )
 
@@ -60,6 +62,7 @@ func main() {
 		ccost    = flag.Bool("compilecost", false, "measure front-end vs restructuring time (§3.1 claim)")
 		all      = flag.Bool("all", false, "regenerate everything")
 		bench    = flag.Bool("bench", false, "replay the fixed benchmark matrix and write the BENCH_sim.json trajectory")
+		matrix   = flag.Bool("matrix", false, "sweep generated workloads across every coherence protocol and topology")
 		benchout = flag.String("benchout", "BENCH_sim.json", "output path for the -bench report")
 		quick    = flag.Bool("quick", false, "smaller processor sweeps (faster)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of formatted tables (fig3/fig4/table2)")
@@ -67,6 +70,13 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "parallel experiment jobs (1 = serial)")
 
 		scaleMin = flag.Bool("scale-min", false, "minimal sweeps and block sets (CI smoke runs)")
+
+		matrixWorkloads = flag.Int("matrix-workloads", 60, "generated workload population for -matrix")
+		matrixSeed      = flag.Int64("matrix-seed", 1, "generator corpus seed for -matrix")
+		matrixProcs     = flag.Int("matrix-procs", 8, "processor count for -matrix cells")
+		matrixBlock     = flag.Int64("matrix-block", 64, "block size for -matrix cells")
+		protocols       = flag.String("protocols", "", "comma-separated protocol subset for -matrix (default: all)")
+		topologies      = flag.String("topologies", "", "comma-separated topology subset for -matrix (default: all)")
 
 		resume     = flag.String("resume", "", "checkpoint completed cells into this directory's journal and skip cells already checkpointed")
 		keepGoing  = flag.Bool("keep-going", false, "keep running after cell failures and render partial figures/tables (default: fail fast)")
@@ -86,7 +96,7 @@ func main() {
 	if *all {
 		*table1, *fig3, *table2, *fig4, *table3, *aggr, *ccost = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*fig3 && !*table2 && !*fig4 && !*table3 && !*aggr && !*ccost && !*bench {
+	if !*table1 && !*fig3 && !*table2 && !*fig4 && !*table3 && !*aggr && !*ccost && !*bench && !*matrix {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -133,6 +143,31 @@ func main() {
 		cfg.Fig3Blocks = []int64{16, 128}
 	}
 	machine := ksr.DefaultConfig()
+
+	// -matrix axes: explicit subsets parse up front so a typo fails
+	// before any cell runs; -scale-min shrinks the generated programs,
+	// never the population (the matrix's value is breadth).
+	mopt := experiments.MatrixOptions{
+		Workloads: *matrixWorkloads,
+		Seed:      *matrixSeed,
+		Procs:     *matrixProcs,
+		Block:     *matrixBlock,
+		ScaleMin:  *scaleMin,
+	}
+	if *protocols != "" {
+		for _, s := range splitList(*protocols) {
+			p, err := cache.ParseProtocol(s)
+			check(err)
+			mopt.Protocols = append(mopt.Protocols, p)
+		}
+	}
+	if *topologies != "" {
+		for _, s := range splitList(*topologies) {
+			tp, err := cache.ParseTopology(s)
+			check(err)
+			mopt.Topologies = append(mopt.Topologies, tp)
+		}
+	}
 
 	// First interrupt: cancel the run cooperatively — cells in flight
 	// stop at their next check, the journal and any partial manifests
@@ -298,6 +333,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fsexp: bench report -> %s\n", *benchout)
 	}
 
+	if *matrix {
+		cells := run("matrix", func() (any, error) { return experiments.Matrix(cfg, mopt) }).([]experiments.MatrixCell)
+		if *csv {
+			fmt.Print(experiments.CSVMatrix(cells))
+		} else {
+			fmt.Println(experiments.RenderMatrix(cells))
+		}
+	}
+
 	// Aggregate diagnosis: pair each section's unoptimized and
 	// transformed attribution cells and show, per applied decision,
 	// the false-sharing misses the transformation eliminated.
@@ -343,4 +387,15 @@ func check(err error) {
 		fmt.Fprintf(os.Stderr, "fsexp: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }

@@ -54,6 +54,11 @@ func main() {
 		diag        = flag.Bool("diag", false, "attribute misses to objects and fields; prints per-block false-sharing tables (implies -j 1)")
 		statsJSON   = flag.String("stats-json", "", "write the full per-block cache statistics (including per-processor counters) as JSON to this file")
 
+		protoFlag = flag.String("protocol", "write-invalidate", "coherence protocol: write-invalidate, mesi, or write-update")
+		topoFlag  = flag.String("topology", "flat", "machine topology: flat or two-ring")
+		ringSize  = flag.Int("ring-size", 0, "processors per ring for -topology two-ring (0 = the KSR default of 32)")
+		sector    = flag.Int64("sector", 0, "invalidate in sectors of this many bytes instead of whole lines (0 = whole-line)")
+
 		stepBudget = flag.Int64("step-budget", 0, "per-process VM instruction cap (0 = the VM default of 1e9)")
 		faults     = flag.String("faults", "", "deterministic fault-injection spec (testing; see internal/faultinject)")
 
@@ -104,6 +109,23 @@ func main() {
 		obs.Install(rec)
 	}
 
+	// Protocol/topology/sector knobs apply to every simulator this run
+	// builds; parse them before block validation so a bad combination
+	// (write-update with sectors, say) is one clear message up front.
+	{
+		p, err := cache.ParseProtocol(*protoFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fssim: %v\n", err)
+			os.Exit(2)
+		}
+		tp, err := cache.ParseTopology(*topoFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fssim: %v\n", err)
+			os.Exit(2)
+		}
+		simKnobs = knobs{proto: p, topo: tp, ringSize: *ringSize, sector: *sector}
+	}
+
 	var blocks []int64
 	for _, s := range strings.Split(*blockList, ",") {
 		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
@@ -113,8 +135,10 @@ func main() {
 		}
 		// Validate each block against the simulator configuration it
 		// will become, so a bad size (not a power of two, too small)
-		// is one clear message here instead of garbage classifications.
-		if verr := cache.DefaultConfig(*nprocs, v).Validate(); verr != nil {
+		// or knob combination is one clear message here instead of
+		// garbage classifications. Two-ring defaults are filled by
+		// cache.New, so validate through it.
+		if _, verr := cache.New(simConfig(*nprocs, v)); verr != nil {
 			fmt.Fprintf(os.Stderr, "fssim: %v\n", verr)
 			os.Exit(2)
 		}
@@ -199,6 +223,7 @@ func main() {
 		writeStatsJSON(*statsJSON, perBlock)
 		writeReport(rec, *report, map[string]any{
 			"nprocs": *nprocs, "blocks": blocks, "replay": *replay, "jobs": *jobs,
+			"protocol": simKnobs.proto.String(), "topology": simKnobs.topo.String(),
 		}, perBlock, *verbose)
 		return
 	}
@@ -268,6 +293,7 @@ func main() {
 	writeReport(rec, *report, map[string]any{
 		"nprocs": *nprocs, "blocks": blocks, "bench": *bench, "scale": *scale,
 		"transformed": *transformed, "jobs": *jobs,
+		"protocol": simKnobs.proto.String(), "topology": simKnobs.topo.String(),
 	}, perBlock, *verbose)
 
 	if *memprof != "" {
@@ -275,6 +301,28 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// knobs carries the protocol/topology/sector flags to every simulator
+// construction site (replay and execute paths alike).
+type knobs struct {
+	proto    cache.Protocol
+	topo     cache.Topology
+	ringSize int
+	sector   int64
+}
+
+var simKnobs knobs
+
+// simConfig is DefaultConfig plus the run's protocol/topology/sector
+// knobs.
+func simConfig(nprocs int, blk int64) cache.Config {
+	cfg := cache.DefaultConfig(nprocs, blk)
+	cfg.Protocol = simKnobs.proto
+	cfg.Topology = simKnobs.topo
+	cfg.RingSize = simKnobs.ringSize
+	cfg.SectorSize = simKnobs.sector
+	return cfg
 }
 
 // blockTraceName derives the per-block trace file name: "x.trc" with
@@ -294,7 +342,7 @@ func newSims(nprocs int, blocks []int64, verbose bool) ([]*cache.Sim, error) {
 	sims := make([]*cache.Sim, len(blocks))
 	for i, blk := range blocks {
 		var err error
-		sims[i], err = cache.New(cache.DefaultConfig(nprocs, blk))
+		sims[i], err = cache.New(simConfig(nprocs, blk))
 		if err != nil {
 			return nil, err
 		}

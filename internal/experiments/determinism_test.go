@@ -143,6 +143,15 @@ func TestDeterminismAggregates(t *testing.T) {
 	assertDeterministic(t, "aggregates", func(cfg Config) (any, error) { return ComputeAggregates(cfg, 128) })
 }
 
+// TestDeterminismMatrix extends the manifest guarantee to the
+// protocol/topology matrix: a -matrix -j 8 run's manifest must be
+// byte-identical to -j 1 modulo timing, including every cell's
+// per-protocol counters and attributed TopFS objects.
+func TestDeterminismMatrix(t *testing.T) {
+	opt := MatrixOptions{Workloads: 3, Seed: 11, Procs: 4, Block: 64, ScaleMin: true}
+	assertDeterministic(t, "matrix", func(cfg Config) (any, error) { return Matrix(cfg, opt) })
+}
+
 // TestDeterminismRenderedOutput pins the user-visible text too: the
 // rendered Figure 3 and Table 2 must be identical at any -j.
 func TestDeterminismRenderedOutput(t *testing.T) {

@@ -51,8 +51,37 @@ type Config struct {
 	// in the block still hits. This eliminates false-sharing misses
 	// entirely in hardware, at the cost of per-word valid bits; the
 	// ablation benchmarks compare it against the compile-time
-	// transformations.
+	// transformations. WordInvalidate is exactly SectorSize ==
+	// WordSize with the historical always-true-sharing classification;
+	// setting both to conflicting granularities is a configuration
+	// error.
 	WordInvalidate bool
+
+	// SectorSize enables sub-block (sector) invalidation: writes
+	// invalidate remote copies at SectorSize-byte granularity instead
+	// of killing the whole line. 0 (the default) keeps whole-line
+	// invalidation. Must be a power of two in [WordSize, BlockSize]
+	// with at most 64 sectors per block. Sector misses are classified
+	// at word granularity: touching an invalidated sector whose
+	// accessed words were NOT remotely written is a false-sharing miss
+	// — sector granularity interpolates between word-invalidate
+	// hardware (no false sharing) and whole-block invalidation.
+	SectorSize int64
+
+	// Protocol selects the coherence protocol (write-invalidate,
+	// MESI, write-update); the zero value is the historical
+	// write-invalidate. See protocol.go.
+	Protocol Protocol
+
+	// Topology selects the machine shape for miss costing; the zero
+	// value (flat) charges nothing. TopoTwoRing models the KSR2's
+	// two-level rings: RingSize processors per ring, LocalLatency
+	// cycles for a same-ring miss service, RemoteLatency across rings
+	// (defaults 32/175/600, the paper's numbers).
+	Topology      Topology
+	RingSize      int
+	LocalLatency  int64
+	RemoteLatency int64
 }
 
 // ConfigError reports an invalid simulator configuration, naming the
@@ -93,6 +122,64 @@ func (c Config) Validate() error {
 	}
 	if c.Assoc < 0 {
 		return &ConfigError{"Assoc", fmt.Sprintf("must be >= 0 (got %d)", c.Assoc)}
+	}
+	if c.Protocol < 0 || c.Protocol >= protocolCount {
+		return &ConfigError{"Protocol", fmt.Sprintf("unknown protocol %d", int(c.Protocol))}
+	}
+	if c.Topology < 0 || c.Topology >= topologyCount {
+		return &ConfigError{"Topology", fmt.Sprintf("unknown topology %d", int(c.Topology))}
+	}
+	if c.SectorSize != 0 {
+		if c.SectorSize < WordSize {
+			return &ConfigError{"SectorSize", fmt.Sprintf("must be >= %d bytes (got %d)", WordSize, c.SectorSize)}
+		}
+		if c.SectorSize&(c.SectorSize-1) != 0 {
+			return &ConfigError{"SectorSize", fmt.Sprintf("must be a power of two (got %d)", c.SectorSize)}
+		}
+		if c.SectorSize > c.BlockSize {
+			return &ConfigError{"SectorSize", fmt.Sprintf("must not exceed BlockSize %d (got %d)", c.BlockSize, c.SectorSize)}
+		}
+		if c.BlockSize/c.SectorSize > 64 {
+			return &ConfigError{"SectorSize", fmt.Sprintf(
+				"sector invalidation tracks at most 64 sectors per block; %d-byte sectors in a %d-byte block need %d",
+				c.SectorSize, c.BlockSize, c.BlockSize/c.SectorSize)}
+		}
+		// Cross-field: word-invalidate mode IS sector invalidation at
+		// word granularity. A conflicting explicit SectorSize would
+		// make the two knobs silently fight over the same invalidation
+		// mask, so only the agreeing combination is accepted.
+		if c.WordInvalidate && c.SectorSize != WordSize {
+			return &ConfigError{"SectorSize", fmt.Sprintf(
+				"conflicts with WordInvalidate: word-invalidate mode fixes the invalidation granularity at %d bytes (got SectorSize %d)",
+				WordSize, c.SectorSize)}
+		}
+	}
+	if c.Protocol == WriteUpdate {
+		// An update protocol never invalidates remote copies, so both
+		// invalidation-granularity knobs are meaningless with it —
+		// reject the combination instead of silently ignoring a knob.
+		if c.WordInvalidate {
+			return &ConfigError{"Protocol", "write-update never invalidates; WordInvalidate does not apply"}
+		}
+		if c.SectorSize != 0 {
+			return &ConfigError{"Protocol", "write-update never invalidates; SectorSize does not apply"}
+		}
+	}
+	if c.Topology == TopoTwoRing {
+		if c.RingSize < 0 {
+			return &ConfigError{"RingSize", fmt.Sprintf("must be >= 0 (got %d; 0 takes the KSR2 default of %d)", c.RingSize, DefaultRingSize)}
+		}
+		if c.LocalLatency < 0 || c.RemoteLatency < 0 {
+			return &ConfigError{"LocalLatency", fmt.Sprintf(
+				"ring latencies must be >= 0 (got local %d, remote %d; 0 takes the KSR2 defaults %d/%d)",
+				c.LocalLatency, c.RemoteLatency, DefaultLocalLatency, DefaultRemoteLatency)}
+		}
+	} else {
+		if c.RingSize != 0 || c.LocalLatency != 0 || c.RemoteLatency != 0 {
+			return &ConfigError{"Topology", fmt.Sprintf(
+				"ring parameters (RingSize %d, LocalLatency %d, RemoteLatency %d) require Topology two-ring",
+				c.RingSize, c.LocalLatency, c.RemoteLatency)}
+		}
 	}
 	return nil
 }
@@ -153,6 +240,27 @@ type Stats struct {
 	Upgrades int64
 	// Invalidations counts line invalidations caused in other caches.
 	Invalidations int64
+
+	// SilentUpgrades counts MESI Exclusive→Modified transitions:
+	// ownership acquisitions the E state makes free (no bus
+	// transaction). Always zero outside the MESI protocol. For any
+	// trace, write-invalidate's Upgrades equals MESI's Upgrades +
+	// SilentUpgrades — the E state converts bus upgrades into silent
+	// ones, it never changes miss classification.
+	SilentUpgrades int64
+	// Updates counts remote cached copies refreshed by writes under
+	// the write-update protocol (one per copy per broadcast write).
+	// Always zero outside write-update.
+	Updates int64
+
+	// Two-level topology decomposition (TopoTwoRing; all zero on the
+	// flat topology): every miss is serviced either on the
+	// requester's own ring or across rings, and CostCycles totals the
+	// asymmetric service latencies — exactly LocalServiced *
+	// LocalLatency + RemoteServiced * RemoteLatency.
+	LocalServiced  int64
+	RemoteServiced int64
+	CostCycles     int64
 
 	// Per-processor counters for the execution-time model and the
 	// per-miss-class decomposition (§5's per-processor attribution).
@@ -232,17 +340,26 @@ func (s *Stats) String() string {
 type line struct {
 	tag   int64 // block address
 	valid bool
-	state byte // stateShared or stateModified
+	state byte // stateShared, stateModified or stateExclusive (MESI)
 	lru   int64
-	// invMask marks per-word invalidations (WordInvalidate mode): bit
-	// w set means word w of the block was written remotely and must be
-	// refetched before use.
+	// invMask marks per-sector invalidations (WordInvalidate and
+	// SectorSize modes): bit s set means sector s of the block was
+	// written remotely and must be refetched before use. In
+	// word-invalidate mode a sector is one word.
 	invMask uint64
+	// invAt is the time of the oldest outstanding sector invalidation
+	// (the classification epoch for sector misses); invBy/invAddr
+	// record the write responsible, for false-sharing attribution.
+	// All three reset when the line refetches.
+	invAt   int64
+	invAddr int64
+	invBy   int32
 }
 
 const (
-	stateShared   byte = 0
-	stateModified byte = 1
+	stateShared    byte = 0
+	stateModified  byte = 1
+	stateExclusive byte = 2 // MESI only: sole copy, clean
 )
 
 // blockMeta tracks why a processor lost a block, for classification.
@@ -491,6 +608,18 @@ type Sim struct {
 	sharers   sharerTable
 	wideProcs bool
 
+	// Protocol/topology/sector state (see protocol.go). sectored is
+	// set for both WordInvalidate and SectorSize modes; secShift is
+	// the log2 of the invalidation granularity (2 for word mode).
+	// ringMasks[r] is the sharer-mask footprint of ring r (narrow
+	// configurations only).
+	protocol  Protocol
+	sectored  bool
+	secShift  uint
+	twoRing   bool
+	nrings    int
+	ringMasks []uint64
+
 	time  int64
 	stats Stats
 
@@ -538,6 +667,17 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Assoc == 0 {
 		cfg.Assoc = 4
 	}
+	if cfg.Topology == TopoTwoRing {
+		if cfg.RingSize == 0 {
+			cfg.RingSize = DefaultRingSize
+		}
+		if cfg.LocalLatency == 0 {
+			cfg.LocalLatency = DefaultLocalLatency
+		}
+		if cfg.RemoteLatency == 0 {
+			cfg.RemoteLatency = DefaultRemoteLatency
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -555,9 +695,29 @@ func New(cfg Config) (*Sim, error) {
 		setMask:   nsets - 1,
 		assoc:     int64(cfg.Assoc),
 		wideProcs: cfg.NumProcs > 64,
+		protocol:  cfg.Protocol,
 	}
 	for b := cfg.BlockSize; b > 1; b >>= 1 {
 		s.blkShift++
+	}
+	switch {
+	case cfg.WordInvalidate:
+		s.sectored, s.secShift = true, 2 // one word per sector
+	case cfg.SectorSize > 0:
+		s.sectored = true
+		for b := cfg.SectorSize; b > 1; b >>= 1 {
+			s.secShift++
+		}
+	}
+	if cfg.Topology == TopoTwoRing {
+		s.twoRing = true
+		s.nrings = (cfg.NumProcs + cfg.RingSize - 1) / cfg.RingSize
+		if !s.wideProcs {
+			s.ringMasks = make([]uint64, s.nrings)
+			for p := 0; p < cfg.NumProcs; p++ {
+				s.ringMasks[p/cfg.RingSize] |= 1 << uint(p)
+			}
+		}
 	}
 	s.caches = make([][]line, cfg.NumProcs)
 	s.meta = make([]metaTable, cfg.NumProcs)
@@ -644,44 +804,31 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	kind := Hit
 	if hitWay >= 0 {
 		ln := &ways[hitWay]
-		// Word-invalidate mode: a resident line may hold remotely
-		// written (invalid) words; touching one is a true-sharing
-		// miss that refetches the block.
-		if s.cfg.WordInvalidate && ln.invMask&s.wordBits(addr, size) != 0 {
-			ln.invMask = 0
-			ln.lru = s.time
-			if write {
-				ln.state = stateModified
-				s.invalidateWords(proc, block, addr, size)
-				s.recordWrite(proc, addr, size)
-			} else {
-				ln.state = stateShared
-			}
-			s.stats.TrueShare++
-			s.stats.ProcMisses[proc]++
-			s.stats.ProcTS[proc]++
-			if s.heldElsewhere(proc, block) {
-				s.stats.ProcRemote[proc]++
-			}
-			if s.attr != nil {
-				wr, wa, ok := s.lastOtherWriter(proc, addr, size, 1)
-				if !ok {
-					wr, wa = -1, 0
-				}
-				s.attr.OnMiss(proc, addr, size, write, TrueSharing, wr, wa)
-			}
-			return TrueSharing
+		// Sector modes (WordInvalidate, SectorSize): a resident line
+		// may hold remotely written (invalid) sectors; touching one
+		// refetches the block and classifies as a sharing miss.
+		if s.sectored && ln.invMask&s.sectorBits(addr, size) != 0 {
+			return s.sectorMiss(proc, block, addr, size, write, ln)
 		}
 		ln.lru = s.time
 		if write && ln.state == stateShared {
 			s.stats.Upgrades++
-			s.invalidateOthers(proc, block, addr, size)
+			if s.protocol != WriteUpdate {
+				s.invalidateOthers(proc, block, addr, size)
+			}
 			ln.state = stateModified
+		} else if write && ln.state == stateExclusive {
+			// MESI: the sole clean copy takes ownership silently — the
+			// bus transaction the E state exists to avoid.
+			s.stats.SilentUpgrades++
 		}
 		if write {
 			ln.state = stateModified
-			if s.cfg.WordInvalidate {
-				s.invalidateWords(proc, block, addr, size)
+			if s.protocol == WriteUpdate {
+				s.updateOthers(proc, block)
+			}
+			if s.sectored {
+				s.invalidateSectors(proc, block, addr, size)
 			}
 			s.recordWrite(proc, addr, size)
 		}
@@ -730,9 +877,11 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 		s.stats.ProcReplace[proc]++
 	}
 	s.stats.ProcMisses[proc]++
-	if s.heldElsewhere(proc, block) {
+	remote := s.heldElsewhere(proc, block)
+	if remote {
 		s.stats.ProcRemote[proc]++
 	}
+	s.chargeMiss(proc, block)
 	if s.attr != nil {
 		s.attr.OnMiss(proc, addr, size, write, kind, missWriter, missWriterAddr)
 	}
@@ -764,11 +913,24 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	st := stateShared
 	if write {
 		st = stateModified
-		s.invalidateOthers(proc, block, addr, size)
-		if s.cfg.WordInvalidate {
-			s.invalidateWords(proc, block, addr, size)
+		if s.protocol == WriteUpdate {
+			s.updateOthers(proc, block)
+		} else {
+			s.invalidateOthers(proc, block, addr, size)
+		}
+		if s.sectored {
+			s.invalidateSectors(proc, block, addr, size)
 		}
 		s.recordWrite(proc, addr, size)
+	} else if s.protocol == MESI {
+		// MESI read fill: the sole copy fills Exclusive; otherwise the
+		// other holders snoop down to Shared so their next write is a
+		// bus-visible upgrade again.
+		if remote {
+			s.downgradeOthers(proc, block)
+		} else {
+			st = stateExclusive
+		}
 	}
 	ways[victim] = line{tag: block, valid: true, state: st, lru: s.time}
 	if !s.wideProcs {
@@ -782,14 +944,14 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 // invalidateOthers removes the block from every other processor's
 // cache, marking the loss as invalidation for classification. addr
 // and size identify the write responsible; they feed the attribution
-// hook and are otherwise unused. Callers in WordInvalidate mode use
-// invalidateWords instead for data writes; this whole-line variant
+// hook and are otherwise unused. Callers in the sector modes use
+// invalidateSectors instead for data writes; this whole-line variant
 // remains for fills acquiring ownership.
 func (s *Sim) invalidateOthers(proc int, block, addr, size int64) {
-	if s.cfg.WordInvalidate {
+	if s.sectored {
 		// Ownership transfers still happen, but copies stay readable
-		// for their valid words; nothing to do here (the written
-		// words are invalidated by invalidateWords).
+		// for their valid sectors; nothing to do here (the written
+		// sectors are invalidated by invalidateSectors).
 		return
 	}
 	base := (block & s.setMask) * s.assoc
@@ -841,12 +1003,12 @@ func (s *Sim) invalidateOthers(proc int, block, addr, size int64) {
 	}
 }
 
-// wordBits returns the per-word bit mask covered by [addr, addr+size)
-// within its block.
-func (s *Sim) wordBits(addr, size int64) uint64 {
+// sectorBits returns the per-sector bit mask covered by [addr,
+// addr+size) within its block (per-word in WordInvalidate mode).
+func (s *Sim) sectorBits(addr, size int64) uint64 {
 	blockStart := addr >> s.blkShift << s.blkShift
-	first := (addr - blockStart) / WordSize
-	last := (addr + size - 1 - blockStart) / WordSize
+	first := (addr - blockStart) >> s.secShift
+	last := (addr + size - 1 - blockStart) >> s.secShift
 	var m uint64
 	for w := first; w <= last && w < 64; w++ {
 		m |= 1 << uint(w)
@@ -854,27 +1016,89 @@ func (s *Sim) wordBits(addr, size int64) uint64 {
 	return m
 }
 
-// invalidateWords marks the written words invalid in every other
-// cache holding the block (WordInvalidate mode).
-func (s *Sim) invalidateWords(proc int, block, addr, size int64) {
-	wbits := s.wordBits(addr, size)
+// sectorMiss handles a reference that hit a resident line but touched
+// a remotely invalidated sector: the block refetches, counted as a
+// sharing miss. In word-invalidate mode the touched word itself was
+// remotely written, so the miss is always true sharing (the
+// historical classification). With coarser sectors the remote write
+// may have hit a *different* word of the same sector, so the miss
+// classifies at word granularity against the line's invalidation
+// epoch: true sharing when a covered word changed remotely since the
+// epoch, false sharing otherwise — sector granularity reintroduces
+// exactly the within-sector false sharing that word-invalidate
+// hardware eliminates.
+func (s *Sim) sectorMiss(proc int, block, addr, size int64, write bool, ln *line) MissKind {
+	kind := TrueSharing
+	if !s.cfg.WordInvalidate && !s.modifiedByOtherSince(proc, addr, size, ln.invAt) {
+		kind = FalseSharing
+	}
+	invBy, invAddr := int(ln.invBy), ln.invAddr
+	ln.invMask = 0
+	ln.invAt, ln.invBy, ln.invAddr = 0, 0, 0
+	ln.lru = s.time
+	if write {
+		ln.state = stateModified
+		s.invalidateSectors(proc, block, addr, size)
+		s.recordWrite(proc, addr, size)
+	} else {
+		ln.state = stateShared
+	}
+	if kind == TrueSharing {
+		s.stats.TrueShare++
+		s.stats.ProcTS[proc]++
+	} else {
+		s.stats.FalseShare++
+		s.stats.ProcFS[proc]++
+	}
+	s.stats.ProcMisses[proc]++
+	if s.heldElsewhere(proc, block) {
+		s.stats.ProcRemote[proc]++
+	}
+	s.chargeMiss(proc, block)
+	if s.attr != nil {
+		if kind == TrueSharing {
+			wr, wa, ok := s.lastOtherWriter(proc, addr, size, 1)
+			if !ok {
+				wr, wa = -1, 0
+			}
+			s.attr.OnMiss(proc, addr, size, write, TrueSharing, wr, wa)
+		} else {
+			// Only other sectors' words changed: blame the write that
+			// opened the line's invalidation epoch.
+			s.attr.OnMiss(proc, addr, size, write, FalseSharing, invBy, invAddr)
+		}
+	}
+	return kind
+}
+
+// invalidateSectors marks the written sectors invalid in every other
+// cache holding the block (WordInvalidate and SectorSize modes). A
+// line's first outstanding sector invalidation opens its
+// classification epoch (invAt) and records the write responsible.
+func (s *Sim) invalidateSectors(proc int, block, addr, size int64) {
+	sbits := s.sectorBits(addr, size)
 	base := (block & s.setMask) * s.assoc
 	if !s.wideProcs {
-		// Copies stay resident (only the written words are masked), so
-		// the sharer set is read, not cleared.
+		// Copies stay resident (only the written sectors are masked),
+		// so the sharer set is read, not cleared.
 		others := s.sharers.get(block) &^ (1 << uint(proc))
 		for m := others; m != 0; m &= m - 1 {
 			p := bits.TrailingZeros64(m)
 			ways := s.caches[p][base : base+s.assoc]
 			for w := range ways {
 				if ways[w].valid && ways[w].tag == block {
-					if ways[w].invMask&wbits != wbits {
+					if ways[w].invMask&sbits != sbits {
 						s.stats.Invalidations++
 						if s.attr != nil {
 							s.attr.OnInvalidate(proc, addr, size, p)
 						}
 					}
-					ways[w].invMask |= wbits
+					if ways[w].invMask == 0 {
+						ways[w].invAt = s.time
+						ways[w].invBy = int32(proc)
+						ways[w].invAddr = addr
+					}
+					ways[w].invMask |= sbits
 				}
 			}
 		}
@@ -887,13 +1111,18 @@ func (s *Sim) invalidateWords(proc int, block, addr, size int64) {
 		ways := s.caches[p][base : base+s.assoc]
 		for w := range ways {
 			if ways[w].valid && ways[w].tag == block {
-				if ways[w].invMask&wbits != wbits {
+				if ways[w].invMask&sbits != sbits {
 					s.stats.Invalidations++
 					if s.attr != nil {
 						s.attr.OnInvalidate(proc, addr, size, p)
 					}
 				}
-				ways[w].invMask |= wbits
+				if ways[w].invMask == 0 {
+					ways[w].invAt = s.time
+					ways[w].invBy = int32(proc)
+					ways[w].invAddr = addr
+				}
+				ways[w].invMask |= sbits
 			}
 		}
 	}

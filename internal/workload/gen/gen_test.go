@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+
+	"falseshare/internal/core"
+	"falseshare/internal/lang/parser"
+)
+
+// TestGenerateDeterministic pins the generator's core contract: equal
+// Params produce byte-identical source, and the seed actually
+// differentiates programs with identical knobs.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, p := range Corpus(16, 1) {
+		a, b := Generate(p), Generate(p)
+		if a != b {
+			t.Fatalf("Generate(%+v) not deterministic:\n%s\n----\n%s", p, a, b)
+		}
+		q := p
+		q.Seed = p.Seed + 1
+		if Generate(q) == a {
+			t.Errorf("Generate ignored the seed for %+v", p)
+		}
+	}
+}
+
+// TestCorpusDeterministic: one seed, one population.
+func TestCorpusDeterministic(t *testing.T) {
+	a, b := Corpus(24, 7), Corpus(24, 7)
+	if len(a) != 24 {
+		t.Fatalf("Corpus returned %d params, want 24", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Corpus not deterministic at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Any prefix of length >= patternCount mixes all patterns.
+	seen := map[Pattern]bool{}
+	for _, p := range a[:int(patternCount)] {
+		seen[p.Pattern] = true
+	}
+	if len(seen) != int(patternCount) {
+		t.Errorf("corpus prefix covers %d patterns, want %d", len(seen), patternCount)
+	}
+}
+
+// TestGeneratedProgramsCompileAndVerify runs every pattern (at knob
+// extremes and a seeded middle) through the full pipeline: parse,
+// restructure, translation-validate. A generated program that fails
+// any stage — or degrades any object in safe mode — is a generator
+// bug by definition.
+func TestGeneratedProgramsCompileAndVerify(t *testing.T) {
+	var cases []Params
+	for _, pat := range Patterns() {
+		cases = append(cases,
+			Params{Seed: 11, Pattern: pat, Elems: 64, Rounds: 2, StrideElems: 1},
+			Params{Seed: 12, Pattern: pat, Elems: 256, Rounds: 8, StrideElems: 16, LockPct: 100, FalseSharePct: 100},
+			Params{Seed: 13, Pattern: pat, Elems: 128, Rounds: 4, StrideElems: 3, LockPct: 33, FalseSharePct: 50},
+		)
+	}
+	for _, p := range cases {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			src := Generate(p)
+			if _, err := parser.Parse(src); err != nil {
+				t.Fatalf("parse: %v\n%s", err, src)
+			}
+			res, err := core.Restructure(src, core.Options{Nprocs: 4, BlockSize: 64, Verify: true})
+			if err != nil {
+				t.Fatalf("restructure: %v\n%s", err, src)
+			}
+			if len(res.Degraded) != 0 {
+				t.Fatalf("safe mode degraded %d objects: %+v\n%s", len(res.Degraded), res.Degraded, src)
+			}
+			if res.Verify != nil && !res.Verify.OK {
+				t.Fatalf("verification failed: %+v\n%s", res.Verify, src)
+			}
+		})
+	}
+}
+
+// TestGeneratedKnobsShapeSource spot-checks that the knobs actually
+// steer the program text.
+func TestGeneratedKnobsShapeSource(t *testing.T) {
+	base := Params{Seed: 5, Pattern: Stride, Elems: 128, Rounds: 8, StrideElems: 4}
+	src := Generate(base)
+	if strings.Contains(src, "fscnt") || strings.Contains(src, "glock") {
+		t.Errorf("zero-rate knobs still emitted their constructs:\n%s", src)
+	}
+	withFS := base
+	withFS.FalseSharePct = 50
+	if !strings.Contains(Generate(withFS), "fscnt[pid]") {
+		t.Error("FalseSharePct did not inject the pid-indexed counter")
+	}
+	withLock := base
+	withLock.LockPct = 50
+	s := Generate(withLock)
+	if !strings.Contains(s, "acquire(glock)") || !strings.Contains(s, "release(glock)") {
+		t.Error("LockPct did not inject the lock round")
+	}
+	if Generate(base) == Generate(withFS) {
+		t.Error("FalseSharePct changed nothing")
+	}
+}
+
+// TestBenchmarkWrapper checks the workload.Benchmark adapter: named
+// by the params, N version present, source scaled through Rounds.
+func TestBenchmarkWrapper(t *testing.T) {
+	p := Params{Seed: 3, Pattern: Chunked, Elems: 128, Rounds: 4}
+	b := Benchmark(p)
+	if b.Name != p.Name() {
+		t.Errorf("Benchmark name %q != params name %q", b.Name, p.Name())
+	}
+	if !b.HasN {
+		t.Error("generated benchmarks must expose an N version")
+	}
+	if b.Source(1) != Generate(p) {
+		t.Error("scale 1 source differs from Generate")
+	}
+	if b.Source(4) == b.Source(1) {
+		t.Error("scale did not change the generated source")
+	}
+}
+
+// TestClamped covers the sanitizer on hostile values (the fuzz
+// target's first line of defense).
+func TestClamped(t *testing.T) {
+	c := Params{Seed: -9, Pattern: Pattern(-7), Elems: 1 << 30, Rounds: -3, StrideElems: 999, LockPct: -5, FalseSharePct: 400}.Clamped()
+	if c.Pattern < 0 || c.Pattern >= patternCount {
+		t.Errorf("Pattern not folded: %v", c.Pattern)
+	}
+	if c.Elems < 64 || c.Elems > 4096 || c.Elems%64 != 0 {
+		t.Errorf("Elems not clamped: %d", c.Elems)
+	}
+	if c.Rounds < 2 || c.Rounds > 64 {
+		t.Errorf("Rounds not clamped: %d", c.Rounds)
+	}
+	if c.StrideElems < 1 || c.StrideElems > 16 {
+		t.Errorf("StrideElems not clamped: %d", c.StrideElems)
+	}
+	if c.LockPct < 0 || c.LockPct > 100 || c.FalseSharePct < 0 || c.FalseSharePct > 100 {
+		t.Errorf("percents not clamped: %d %d", c.LockPct, c.FalseSharePct)
+	}
+}
