@@ -23,11 +23,20 @@
 // Fault tolerance: Ctrl-C (or SIGTERM) cancels the run cooperatively —
 // cells in flight stop at their next cancellation check, finished
 // cells stay checkpointed when -resume is set, and a second interrupt
-// exits immediately. -job-timeout bounds each cell, -retries re-runs
-// transiently failed cells, -step-budget caps VM instructions so a
-// runaway program fails instead of hanging. -faults (or the
-// FSEXP_FAULTS environment variable) injects deterministic faults for
-// testing; see internal/faultinject.
+// exits immediately (reaping any spawned worker processes). -job-timeout
+// bounds each cell, -retries re-runs transiently failed cells,
+// -step-budget caps VM instructions so a runaway program fails instead
+// of hanging. -faults (or the FSEXP_FAULTS environment variable)
+// injects deterministic faults for testing; see internal/faultinject.
+//
+// Distributed runs: -workers N shards the cells across N spawned
+// worker processes (fsexp -worker over stdio); -listen additionally
+// accepts external workers started with `fsexp -worker -connect`.
+// Dead or hung workers are detected by heartbeat and per-cell
+// deadline, their cells reassigned, and the resulting manifests are
+// byte-identical (modulo timing) to a single-process run. -cache
+// dedups cells through a persistent content-addressed store. See
+// internal/experiments/fabric.
 package main
 
 import (
@@ -40,9 +49,11 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"falseshare/internal/experiments"
+	"falseshare/internal/experiments/fabric"
 	"falseshare/internal/experiments/journal"
 	"falseshare/internal/experiments/pool"
 	"falseshare/internal/faultinject"
@@ -78,6 +89,12 @@ func main() {
 		protocols       = flag.String("protocols", "", "comma-separated protocol subset for -matrix (default: all)")
 		topologies      = flag.String("topologies", "", "comma-separated topology subset for -matrix (default: all)")
 
+		workerMode = flag.Bool("worker", false, "run as a fabric worker process (spawned by -workers, or started by hand with -connect)")
+		connect    = flag.String("connect", "", "with -worker: attach to a coordinator listening at this host:port")
+		workersN   = flag.Int("workers", 0, "distribute cells across this many spawned worker processes (0 = run in-process)")
+		listenAddr = flag.String("listen", "", "accept external fabric workers on this TCP host:port")
+		cacheDir   = flag.String("cache", "", "content-addressed result cache directory: identical cells dedup across runs and shards")
+
 		resume     = flag.String("resume", "", "checkpoint completed cells into this directory's journal and skip cells already checkpointed")
 		keepGoing  = flag.Bool("keep-going", false, "keep running after cell failures and render partial figures/tables (default: fail fast)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-cell deadline, e.g. 90s (0 = none)")
@@ -93,6 +110,27 @@ func main() {
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	// Worker mode: no sections, no flags beyond the link — everything
+	// a worker needs (grid spec, sections, fault spec, journal file)
+	// arrives in the coordinator's hello frame.
+	if *workerMode {
+		var err error
+		if *connect != "" {
+			err = fabric.RunWorkerTCP(*connect)
+		} else {
+			err = fabric.RunWorker(os.Stdin, os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fsexp: worker: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *connect != "" {
+		check(fmt.Errorf("-connect requires -worker"))
+	}
+
 	if *all {
 		*table1, *fig3, *table2, *fig4, *table3, *aggr, *ccost = true, true, true, true, true, true, true
 	}
@@ -114,12 +152,23 @@ func main() {
 		obs.Install(rec)
 	}
 
-	if *faults != "" {
-		s, err := faultinject.Parse(*faults)
+	// faultSpec is the effective spec — also what the coordinator
+	// propagates to every worker process, so a -faults (or
+	// FSEXP_FAULTS) rule targeting a worker-side point fires inside
+	// the workers, not just the parent.
+	faultSpec := *faults
+	if faultSpec == "" {
+		faultSpec = os.Getenv("FSEXP_FAULTS")
+	}
+	if faultSpec != "" {
+		s, err := faultinject.Parse(faultSpec)
+		if *faults == "" {
+			if err != nil {
+				err = fmt.Errorf("FSEXP_FAULTS: %w", err)
+			}
+		}
 		check(err)
 		faultinject.Enable(s)
-	} else if _, err := faultinject.FromEnv(os.Getenv("FSEXP_FAULTS")); err != nil {
-		check(fmt.Errorf("FSEXP_FAULTS: %w", err))
 	}
 
 	cfg := experiments.DefaultConfig()
@@ -170,11 +219,15 @@ func main() {
 	}
 
 	// First interrupt: cancel the run cooperatively — cells in flight
-	// stop at their next check, the journal and any partial manifests
-	// are flushed on the way out. Second interrupt: exit immediately.
+	// stop at their next check, the journal, worker journals and any
+	// partial manifests are flushed on the way out. Second interrupt:
+	// exit immediately — but reap spawned workers first, so an
+	// impatient Ctrl-C Ctrl-C never leaves orphan fsexp -worker
+	// processes behind.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	cfg.Ctx = ctx
+	var coordP atomic.Pointer[fabric.Coordinator]
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -182,11 +235,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fsexp: interrupt — draining (interrupt again to exit immediately)")
 		cancel()
 		<-sigc
+		if c := coordP.Load(); c != nil {
+			c.Kill()
+		}
 		os.Exit(130)
 	}()
 
 	var jnl *journal.Journal
 	if *resume != "" {
+		// Fold in worker journals a previous (crashed or killed)
+		// distributed run left behind: cells its workers finished but
+		// never reported resume instead of recomputing.
+		check(fabric.MergeWorkerJournals(*resume))
 		var err error
 		jnl, err = journal.Open(*resume)
 		check(err)
@@ -196,6 +256,104 @@ func main() {
 		defer jnl.Close()
 		cfg.Journal = jnl
 	}
+
+	// Distributed mode: spawn/accept fabric workers and route every
+	// driver fan-out through the coordinator. The workers re-enumerate
+	// the same grid from cfg's spec, so results — and manifests — are
+	// byte-identical to an in-process run.
+	var coord *fabric.Coordinator
+	var fabricRec *obs.Recorder
+	if *workersN > 0 || *listenAddr != "" {
+		var sections []string
+		if *fig3 {
+			sections = append(sections, "fig3")
+		}
+		if *aggr {
+			sections = append(sections, "aggregates")
+		}
+		if *table2 {
+			sections = append(sections, "table2")
+		}
+		if *fig4 {
+			sections = append(sections, "fig4")
+		}
+		if *table3 {
+			sections = append(sections, "table3")
+		}
+		if *ccost {
+			sections = append(sections, "compilecost")
+		}
+		if *matrix {
+			sections = append(sections, "matrix")
+		}
+		if len(sections) == 0 {
+			check(fmt.Errorf("-workers/-listen: no distributable sections selected (fig3, aggregates, table2, fig4, table3, compilecost, matrix)"))
+		}
+		var cc *fabric.Cache
+		if *cacheDir != "" {
+			var err error
+			cc, err = fabric.OpenCache(*cacheDir)
+			check(err)
+		}
+		fabricRec = obs.NewRecorder()
+		if base := obs.Default(); base != nil {
+			fabricRec.Verbose = base.Verbose
+			fabricRec.LogW = base.LogW
+		}
+		coord = fabric.NewCoordinator(fabric.Options{
+			Workers: *workersN,
+			Listen:  *listenAddr,
+			Spec:    cfg.Spec(),
+			Set: experiments.SectionSet{
+				Sections:     sections,
+				Matrix:       mopt,
+				Machine:      machine,
+				AggBlock:     128,
+				CompileProcs: 12,
+				CompileReps:  5,
+			},
+			Faults:   faultSpec,
+			RunDir:   *resume,
+			Cache:    cc,
+			Policy:   cfg.Policy,
+			Recorder: fabricRec,
+		})
+		check(coord.Start(ctx))
+		coordP.Store(coord)
+		cfg.Runner = coord
+		if *listenAddr != "" {
+			fmt.Fprintf(os.Stderr, "fsexp: fabric: accepting workers on %s (start them with: fsexp -worker -connect %s)\n", coord.Addr(), coord.Addr())
+		}
+	}
+
+	// shutdownFabric drains the fabric exactly once: shutdown frames,
+	// journal merge, the stderr summary line, and (with -reportdir) a
+	// separate fabric manifest. The fabric's telemetry lives in its
+	// own manifest because scheduling is nondeterministic — folding it
+	// into the figure manifests would break their byte-identity.
+	fabricDone := false
+	shutdownFabric := func() {
+		if coord == nil || fabricDone {
+			return
+		}
+		fabricDone = true
+		if err := coord.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "fsexp: fabric: %v\n", err)
+		}
+		st := coord.Stats()
+		fmt.Fprintln(os.Stderr, "fsexp: "+st.Summary())
+		if *reportDir != "" {
+			rep := fabricRec.Report("fsexp")
+			rep.AddData("name", "fabric")
+			rep.AddData("stats", st)
+			if path, werr := experiments.WriteManifest(*reportDir, "fabric", rep); werr != nil {
+				fmt.Fprintf(os.Stderr, "fsexp: fabric manifest: %v\n", werr)
+			} else if *verbose {
+				fmt.Fprintf(os.Stderr, "fsexp: fabric manifest -> %s\n", path)
+			}
+		}
+	}
+	defer shutdownFabric()
 
 	// failSections collects per-experiment partial-failure reports; they
 	// are printed after every rendered figure/table, and make the run
@@ -207,6 +365,7 @@ func main() {
 	// resume hint printed, exit code 130 for an interrupted run and 1
 	// otherwise.
 	fatal := func(name string, err error) {
+		shutdownFabric()
 		jnl.Close()
 		fmt.Fprintf(os.Stderr, "fsexp: %s: %v\n", name, err)
 		code := 1
@@ -365,6 +524,8 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "fsexp: verify: %d objects degraded\n", experiments.DegradedObjects())
 	}
+
+	shutdownFabric()
 
 	if len(failSections) > 0 {
 		fmt.Println("Failed cells:")

@@ -61,6 +61,12 @@ func ComputeAggregates(cfg Config, block int64) (*Aggregates, error) {
 			key := fmt.Sprintf("aggregates/%s/%s", b.Name, ver)
 			jobs = append(jobs, pool.Job[aggCell]{
 				Key: key,
+				Fingerprint: fingerprint("aggregates",
+					"prog="+b.Name, "ver="+string(ver),
+					fmt.Sprintf("procs=%d", procs), fmt.Sprintf("blk=%d", block),
+					fmt.Sprintf("scale=%d", cfg.Scale), fmt.Sprintf("budget=%d", cfg.StepBudget),
+					fmt.Sprintf("verify=%v", cfg.Verify),
+					"src="+srcHash(b.Source(cfg.Scale))),
 				Run: func(ctx context.Context) (aggCell, error) {
 					prog, err := cfg.buildProgram(ctx, key, b, ver, procs, block, transform.Config{})
 					if err != nil {

@@ -1,0 +1,119 @@
+package fabric
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"falseshare/internal/experiments"
+	"falseshare/internal/obs"
+)
+
+// Cache is the content-addressed result store: one JSON file per
+// cell, addressed by hash(schema version ‖ cell fingerprint). The
+// fingerprint covers everything the result depends on — program
+// source, cell configuration, scale, budget — and the schema version
+// covers the code itself, so bumping either recomputes instead of
+// serving stale cells. Unlike the resume journal (scoped to one run
+// directory), the cache is a persistent cross-run store: re-runs and
+// overlapping shards of different grids dedup through it.
+//
+// Entries store the result JSON and the span subtree the original
+// execution recorded, so a cache-served cell reconstructs the same
+// manifest as a computed one — the journal's byte-identity contract,
+// extended across runs.
+type Cache struct {
+	dir string
+	// Schema is the cache key version, normally experiments.CellSchema.
+	// Exposed so tests can prove a version bump forces recomputation.
+	Schema string
+}
+
+// cacheEntry is one stored cell.
+type cacheEntry struct {
+	Schema      string          `json:"schema"`
+	Fingerprint string          `json:"fingerprint"`
+	Key         string          `json:"key"`
+	Data        json.RawMessage `json:"data"`
+	Spans       []*obs.Span     `json:"spans,omitempty"`
+}
+
+// OpenCache opens (creating as needed) the cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fabric: cache: %w", err)
+	}
+	return &Cache{dir: dir, Schema: experiments.CellSchema}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a fingerprint to its entry file: <dir>/<h[:2]>/<h>.json,
+// fanned out over 256 subdirectories so huge sweeps don't pile every
+// entry into one directory.
+func (c *Cache) path(fingerprint string) string {
+	sum := sha256.Sum256([]byte(c.Schema + "\x00" + fingerprint))
+	h := hex.EncodeToString(sum[:])
+	return filepath.Join(c.dir, h[:2], h+".json")
+}
+
+// Get returns the cached result and spans for a fingerprint, if
+// present. A stored entry whose schema or fingerprint does not match
+// (hash collision, truncated write, schema drift) is a miss, never an
+// error: the cost of a miss is one recomputation.
+func (c *Cache) Get(fingerprint string) (json.RawMessage, []*obs.Span, bool) {
+	if c == nil || fingerprint == "" {
+		return nil, nil, false
+	}
+	b, err := os.ReadFile(c.path(fingerprint))
+	if err != nil {
+		return nil, nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(b, &e); err != nil || e.Schema != c.Schema || e.Fingerprint != fingerprint {
+		return nil, nil, false
+	}
+	return e.Data, e.Spans, true
+}
+
+// Put stores one successful cell result, atomically (tmp + rename),
+// so a concurrent reader never observes a torn entry and a crashed
+// writer leaves at most an orphan tmp file. Errors are returned but
+// callers may treat them as advisory: a failed Put only costs future
+// cache hits.
+func (c *Cache) Put(fingerprint, key string, data json.RawMessage, spans []*obs.Span) error {
+	if c == nil || fingerprint == "" {
+		return nil
+	}
+	e := cacheEntry{Schema: c.Schema, Fingerprint: fingerprint, Key: key, Data: data, Spans: spans}
+	b, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("fabric: cache put %s: %w", key, err)
+	}
+	path := c.path(fingerprint)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("fabric: cache put %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("fabric: cache put %s: %w", key, err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fabric: cache put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fabric: cache put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("fabric: cache put %s: %w", key, err)
+	}
+	return nil
+}

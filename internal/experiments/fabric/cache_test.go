@@ -1,0 +1,142 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"falseshare/internal/experiments"
+	"falseshare/internal/obs"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Schema != experiments.CellSchema {
+		t.Fatalf("new cache schema = %q, want %q", c.Schema, experiments.CellSchema)
+	}
+	data := json.RawMessage(`{"miss_rate":0.25}`)
+	spans := []*obs.Span{{Name: "job:matrix/gen-001"}}
+	if _, _, ok := c.Get("matrix:fp1"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := c.Put("matrix:fp1", "matrix/gen-001", data, spans); err != nil {
+		t.Fatal(err)
+	}
+	got, gotSpans, ok := c.Get("matrix:fp1")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("data = %s, want %s", got, data)
+	}
+	if len(gotSpans) != 1 || gotSpans[0].Name != "job:matrix/gen-001" {
+		t.Errorf("spans did not round-trip: %+v", gotSpans)
+	}
+	// A different fingerprint stays a miss.
+	if _, _, ok := c.Get("matrix:fp2"); ok {
+		t.Error("hit for a fingerprint never stored")
+	}
+}
+
+// TestCacheSchemaBumpForcesRecomputation is the satellite-6 contract:
+// the stage version string is part of every cache key, so bumping it
+// invalidates everything at once — no stale cells survive a format or
+// semantics change.
+func TestCacheSchemaBumpForcesRecomputation(t *testing.T) {
+	dir := t.TempDir()
+	v1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v1.Put("matrix:fp1", "k", json.RawMessage(`1`), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := v1.Get("matrix:fp1"); !ok {
+		t.Fatal("v1 miss after Put")
+	}
+
+	v2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2.Schema = experiments.CellSchema + "-bumped"
+	if _, _, ok := v2.Get("matrix:fp1"); ok {
+		t.Fatal("bumped schema served a stale v1 entry")
+	}
+	// The bumped run recomputes and stores under the new key without
+	// disturbing the old one: both generations coexist.
+	if err := v2.Put("matrix:fp1", "k", json.RawMessage(`2`), nil); err != nil {
+		t.Fatal(err)
+	}
+	if d, _, ok := v1.Get("matrix:fp1"); !ok || !bytes.Equal(d, json.RawMessage(`1`)) {
+		t.Errorf("v1 entry disturbed by v2 Put: ok=%v data=%s", ok, d)
+	}
+	if d, _, ok := v2.Get("matrix:fp1"); !ok || !bytes.Equal(d, json.RawMessage(`2`)) {
+		t.Errorf("v2 entry wrong: ok=%v data=%s", ok, d)
+	}
+}
+
+// TestCacheCorruptEntryIsMiss pins Get's failure posture: a torn or
+// tampered entry costs one recomputation, never an error.
+func TestCacheCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("matrix:fp1", "k", json.RawMessage(`1`), nil); err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	filepath.Walk(dir, func(p string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if len(files) != 1 {
+		t.Fatalf("expected 1 entry file, found %v", files)
+	}
+	if err := os.WriteFile(files[0], []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("matrix:fp1"); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+	// An entry whose recorded fingerprint disagrees with its address
+	// (collision, manual tampering) is also a miss.
+	b, _ := json.Marshal(cacheEntry{Schema: c.Schema, Fingerprint: "matrix:other", Key: "k", Data: json.RawMessage(`1`)})
+	if err := os.WriteFile(files[0], b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("matrix:fp1"); ok {
+		t.Error("entry with mismatched fingerprint served as a hit")
+	}
+}
+
+func TestCacheNilAndEmptyFingerprint(t *testing.T) {
+	var c *Cache
+	if _, _, ok := c.Get("fp"); ok {
+		t.Error("nil cache hit")
+	}
+	if err := c.Put("fp", "k", nil, nil); err != nil {
+		t.Errorf("nil cache Put: %v", err)
+	}
+	real, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unfingerprinted cells (compilecost: timing must not be cached)
+	// never enter the cache.
+	if err := real.Put("", "k", json.RawMessage(`1`), nil); err != nil {
+		t.Errorf("empty-fingerprint Put: %v", err)
+	}
+	if _, _, ok := real.Get(""); ok {
+		t.Error("empty-fingerprint Get hit")
+	}
+}

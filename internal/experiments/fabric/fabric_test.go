@@ -1,0 +1,592 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"falseshare/internal/experiments"
+	"falseshare/internal/experiments/journal"
+	"falseshare/internal/experiments/pool"
+	"falseshare/internal/faultinject"
+	"falseshare/internal/obs"
+)
+
+// The integration suite re-execs this test binary as the worker
+// process: TestMain intercepts the child before any test runs, so a
+// spawned worker speaks the fabric protocol on stdio exactly like
+// fsexp -worker does. FABRIC_TEST_WORKER is exported for the whole
+// parent run, so every coordinator spawn (including mid-test respawns
+// after chaos kills) lands in worker mode.
+func TestMain(m *testing.M) {
+	if os.Getenv("FABRIC_TEST_WORKER") == "1" {
+		if err := RunWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fabric test worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Setenv("FABRIC_TEST_WORKER", "1")
+	os.Exit(m.Run())
+}
+
+// testGrid is the shared small grid: a 2-workload protocol/topology
+// matrix at minimal scale — a few dozen cheap cells with full fabric
+// coverage (fingerprints, spans, deterministic keys).
+func testGrid() (experiments.Config, experiments.MatrixOptions, experiments.SectionSet) {
+	cfg := experiments.DefaultConfig()
+	cfg.Workers = 4
+	mopt := experiments.MatrixOptions{Workloads: 2, Seed: 7, Procs: 2, Block: 32, ScaleMin: true}
+	set := experiments.SectionSet{Sections: []string{"matrix"}, Matrix: mopt}
+	return cfg, mopt, set
+}
+
+// gridKeys enumerates the grid's cell keys the same way a worker does.
+func gridKeys(t *testing.T, cfg experiments.Config, set experiments.SectionSet) []string {
+	t.Helper()
+	enum, err := experiments.Collect(cfg.Spec().Config(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := enum.Keys()
+	if len(keys) == 0 {
+		t.Fatal("empty grid")
+	}
+	return keys
+}
+
+// startCoordinator wires the re-exec worker command into opt, starts
+// the coordinator, and registers cleanup.
+func startCoordinator(t *testing.T, opt Options) *Coordinator {
+	t.Helper()
+	if len(opt.WorkerCmd) == 0 {
+		opt.WorkerCmd = []string{os.Args[0]}
+	}
+	c := NewCoordinator(opt)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// normManifest mirrors fsexp -reportdir and the determinism suite's
+// normalization: the manifest with timing fields (started, wall_ms,
+// wall_ns) and worker-count knobs (config.workers, the pool span's
+// workers counter) removed — the only fields allowed to differ
+// between a local and a distributed run.
+func normManifest(t *testing.T, name string, cfg experiments.Config, fn func() (any, error)) []byte {
+	t.Helper()
+	rep, err := experiments.RunManifest("fsexp", name, experiments.ConfigMap(cfg), fn)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	delete(doc, "started")
+	delete(doc, "wall_ms")
+	if c, ok := doc["config"].(map[string]any); ok {
+		delete(c, "workers")
+	}
+	scrubSpans(doc["spans"])
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func scrubSpans(v any) {
+	spans, _ := v.([]any)
+	for _, s := range spans {
+		m, _ := s.(map[string]any)
+		if m == nil {
+			continue
+		}
+		delete(m, "wall_ns")
+		delete(m, "wall_ms")
+		if c, ok := m["counters"].(map[string]any); ok {
+			delete(c, "workers")
+			if len(c) == 0 {
+				delete(m, "counters")
+			}
+		}
+		scrubSpans(m["children"])
+	}
+}
+
+func firstDiff(a, b []byte) (string, string) {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	window := func(x []byte) string {
+		lo, hi := i-120, i+120
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(x) {
+			hi = len(x)
+		}
+		return string(x[lo:hi])
+	}
+	return window(a), window(b)
+}
+
+// TestFabricManifestByteIdentity is the tentpole contract and the
+// satellite-3 property: a distributed matrix run — at one worker and
+// at four — produces a manifest byte-identical to the single-process
+// run, modulo timing.
+func TestFabricManifestByteIdentity(t *testing.T) {
+	cfg, mopt, set := testGrid()
+	local := normManifest(t, "matrix", cfg, func() (any, error) { return experiments.Matrix(cfg, mopt) })
+
+	for _, workers := range []int{1, 4} {
+		coord := startCoordinator(t, Options{Workers: workers, Spec: cfg.Spec(), Set: set, Recorder: obs.NewRecorder()})
+		fcfg := cfg
+		fcfg.Runner = coord
+		dist := normManifest(t, "matrix", fcfg, func() (any, error) { return experiments.Matrix(fcfg, mopt) })
+		if !bytes.Equal(local, dist) {
+			d1, d2 := firstDiff(local, dist)
+			t.Errorf("-workers %d manifest differs from single-process:\n--- local ---\n%s\n--- fabric ---\n%s", workers, d1, d2)
+		}
+		st := coord.Stats()
+		if st.Deaths != 0 || st.Reassigned != 0 {
+			t.Errorf("-workers %d: clean run recorded deaths=%d reassigned=%d", workers, st.Deaths, st.Reassigned)
+		}
+		if err := coord.Close(); err != nil {
+			t.Errorf("-workers %d: close: %v", workers, err)
+		}
+	}
+}
+
+// TestFabricWorkerKillResume kills one worker mid-cell (the coord.kill
+// chaos point: deterministic, fires once) and requires the run to
+// complete via reassignment with results identical to an undisturbed
+// local run; then a -resume style replay of the merged journal must
+// reproduce them again without recomputing anything.
+func TestFabricWorkerKillResume(t *testing.T) {
+	cfg, mopt, set := testGrid()
+	keys := gridKeys(t, cfg, set)
+	victim := keys[len(keys)/2]
+
+	want, err := experiments.Matrix(cfg, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	set2, err := faultinject.Parse("coord.kill=" + victim + ":error:count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Enable(set2)
+	defer faultinject.Disable()
+
+	runDir := t.TempDir()
+	jnl, err := journal.Open(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := startCoordinator(t, Options{Workers: 2, Spec: cfg.Spec(), Set: set, RunDir: runDir})
+	fcfg := cfg
+	fcfg.Runner = coord
+	fcfg.Journal = jnl
+	got, err := experiments.Matrix(fcfg, mopt)
+	if err != nil {
+		var me *pool.MultiError
+		if errors.As(err, &me) {
+			for _, fe := range me.Errors {
+				t.Errorf("cell %s failed: %v", fe.Key, fe.Err)
+			}
+		}
+		t.Fatalf("run with worker kill failed: %v", err)
+	}
+	jnl.Close()
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Disable()
+
+	st := coord.Stats()
+	if st.Deaths != 1 {
+		t.Errorf("deaths = %d, want 1 (exactly one chaos kill)", st.Deaths)
+	}
+	if st.Reassigned != 1 {
+		t.Errorf("reassigned = %d, want 1", st.Reassigned)
+	}
+	if st.Spawned != 3 {
+		t.Errorf("spawned = %d, want 3 (2 workers + 1 respawn)", st.Spawned)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+		t.Error("results after worker kill differ from undisturbed run")
+	}
+
+	// Resume round trip: the journal now holds every cell; a local
+	// replay must serve all of them without touching a worker.
+	jnl2, err := journal.Open(runDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jnl2.Close()
+	if jnl2.Len() < len(keys) {
+		t.Errorf("journal has %d cells, want >= %d", jnl2.Len(), len(keys))
+	}
+	rcfg := cfg
+	rcfg.Workers = 1
+	rcfg.Journal = jnl2
+	resumed, err := experiments.Matrix(rcfg, mopt)
+	if err != nil {
+		t.Fatalf("resume replay: %v", err)
+	}
+	if !bytes.Equal(mustJSON(t, resumed), mustJSON(t, want)) {
+		t.Error("resumed results differ from original run")
+	}
+}
+
+// TestFabricFaultPropagation is satellite 1: a -faults spec handed to
+// the coordinator reaches spawned workers, and a pool.worker rule
+// fires inside the worker process (this process never enables the
+// fault set, so the injected error can only have crossed the wire).
+func TestFabricFaultPropagation(t *testing.T) {
+	if faultinject.Active() {
+		t.Fatal("fault injection unexpectedly enabled in the test process")
+	}
+	cfg, mopt, set := testGrid()
+	keys := gridKeys(t, cfg, set)
+	victim := keys[0]
+
+	coord := startCoordinator(t, Options{
+		Workers: 2,
+		Spec:    cfg.Spec(),
+		Set:     set,
+		Faults:  "pool.worker=" + victim + ":error",
+	})
+	fcfg := cfg
+	fcfg.Runner = coord
+	_, err := experiments.Matrix(fcfg, mopt)
+	if err == nil {
+		t.Fatal("injected worker fault did not surface")
+	}
+	var me *pool.MultiError
+	if !errors.As(err, &me) {
+		t.Fatalf("error is %T, want *pool.MultiError: %v", err, err)
+	}
+	if len(me.Errors) != 1 {
+		t.Fatalf("got %d failed cells, want exactly the victim: %v", len(me.Errors), me)
+	}
+	fe := me.Errors[0]
+	if fe.Key != victim {
+		t.Errorf("failed cell %s, want %s", fe.Key, victim)
+	}
+	if !strings.Contains(fe.Err.Error(), "injected fault at pool.worker") {
+		t.Errorf("error %q does not carry the worker-side injection", fe.Err)
+	}
+	if faultinject.Active() {
+		t.Error("worker fault spec leaked into the coordinator process")
+	}
+}
+
+// TestFabricKillReapsWorkers is satellite 2: Kill (the second-SIGINT
+// path) leaves no orphaned worker processes.
+func TestFabricKillReapsWorkers(t *testing.T) {
+	cfg, _, set := testGrid()
+	coord := startCoordinator(t, Options{Workers: 3, Spec: cfg.Spec(), Set: set})
+	pids := coord.Pids()
+	if len(pids) != 3 {
+		t.Fatalf("got %d worker pids, want 3", len(pids))
+	}
+	for _, pid := range pids {
+		if err := syscall.Kill(pid, 0); err != nil {
+			t.Fatalf("worker %d not alive before Kill: %v", pid, err)
+		}
+	}
+	coord.Kill()
+	deadline := time.Now().Add(10 * time.Second)
+	for _, pid := range pids {
+		for {
+			if err := syscall.Kill(pid, 0); err == syscall.ESRCH {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d still alive after Kill", pid)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	coord.Close()
+}
+
+// TestFabricChaosExit crashes every worker that picks up one poison
+// cell (worker-side rules re-fire in replacement processes, so the
+// cell stays poisoned): the fleet must survive — bounded reassignment
+// fails the cell, respawns keep the rest of the grid running.
+func TestFabricChaosExit(t *testing.T) {
+	cfg, mopt, set := testGrid()
+	keys := gridKeys(t, cfg, set)
+	victim := keys[0]
+
+	coord := startCoordinator(t, Options{
+		Workers:   2,
+		Spec:      cfg.Spec(),
+		Set:       set,
+		Faults:    "worker.cell=" + victim + ":exit",
+		MaxDeaths: 1,
+	})
+	fcfg := cfg
+	fcfg.Runner = coord
+	cells, err := experiments.Matrix(fcfg, mopt)
+	var me *pool.MultiError
+	if !errors.As(err, &me) || len(me.Errors) != 1 {
+		t.Fatalf("want exactly the poison cell to fail, got %v", err)
+	}
+	if me.Errors[0].Key != victim {
+		t.Errorf("failed cell %s, want %s", me.Errors[0].Key, victim)
+	}
+	if !strings.Contains(me.Errors[0].Err.Error(), "lost 2 workers") {
+		t.Errorf("poison cell error %q does not report bounded reassignment", me.Errors[0].Err)
+	}
+	if n := len(cells); n != len(keys)-1 {
+		t.Errorf("got %d completed cells, want %d (everything but the poison cell)", n, len(keys)-1)
+	}
+	st := coord.Stats()
+	if st.Deaths < 1 {
+		t.Errorf("deaths = %d, want >= 1 (each attempt crashes a worker)", st.Deaths)
+	}
+	// Both original workers crash on the poison cell, yet the other 11
+	// cells complete — only possible if respawns kept the fleet alive.
+	if st.Spawned < 3 {
+		t.Errorf("spawned = %d, want >= 3 (respawns kept the fleet alive)", st.Spawned)
+	}
+}
+
+// TestFabricChaosHang wedges every worker that picks up one cell; the
+// per-cell deadline must detect the hang (heartbeats stay healthy — a
+// hung cell is not a dead process), kill the worker and eventually
+// fail the cell, while the rest of the grid completes.
+func TestFabricChaosHang(t *testing.T) {
+	cfg, mopt, set := testGrid()
+	keys := gridKeys(t, cfg, set)
+	victim := keys[len(keys)-1]
+
+	coord := startCoordinator(t, Options{
+		Workers:   2,
+		Spec:      cfg.Spec(),
+		Set:       set,
+		Faults:    "worker.cell=" + victim + ":hang",
+		MaxDeaths: 1,
+		Policy:    pool.Policy{JobTimeout: 2 * time.Second},
+	})
+	fcfg := cfg
+	fcfg.Runner = coord
+	_, err := experiments.Matrix(fcfg, mopt)
+	var me *pool.MultiError
+	if !errors.As(err, &me) || len(me.Errors) != 1 {
+		t.Fatalf("want exactly the hung cell to fail, got %v", err)
+	}
+	if me.Errors[0].Key != victim {
+		t.Errorf("failed cell %s, want %s", me.Errors[0].Key, victim)
+	}
+	if !strings.Contains(me.Errors[0].Err.Error(), "deadline") {
+		t.Errorf("hung cell error %q does not mention the deadline", me.Errors[0].Err)
+	}
+	// At least the first hung worker's death is always accounted; the
+	// second can race with shutdown (deaths during Close are deliberately
+	// not counted), so >= 1.
+	if st := coord.Stats(); st.Deaths < 1 {
+		t.Errorf("deaths = %d, want >= 1 (hung worker killed)", st.Deaths)
+	}
+}
+
+// TestFabricChaosCorrupt mangles the result frame for one cell: the
+// coordinator must treat the undecodable worker as dead, reassign, and
+// — since the corruption re-fires in every replacement — fail the cell
+// after bounded reassignment instead of looping forever.
+func TestFabricChaosCorrupt(t *testing.T) {
+	cfg, mopt, set := testGrid()
+	keys := gridKeys(t, cfg, set)
+	victim := keys[0]
+
+	coord := startCoordinator(t, Options{
+		Workers:   2,
+		Spec:      cfg.Spec(),
+		Set:       set,
+		Faults:    "worker.send=" + victim + ":corrupt:count=1",
+		MaxDeaths: 1,
+	})
+	fcfg := cfg
+	fcfg.Runner = coord
+	_, err := experiments.Matrix(fcfg, mopt)
+	var me *pool.MultiError
+	if !errors.As(err, &me) || len(me.Errors) != 1 {
+		t.Fatalf("want exactly the corrupted cell to fail, got %v", err)
+	}
+	if me.Errors[0].Key != victim {
+		t.Errorf("failed cell %s, want %s", me.Errors[0].Key, victim)
+	}
+	if st := coord.Stats(); st.Deaths < 1 {
+		t.Errorf("deaths = %d, want >= 1 (corrupt frames kill the connection)", st.Deaths)
+	}
+}
+
+// TestFabricTransientRetry: a worker-reported transient error retries
+// under pool.Policy semantics (bounded, backed off) and succeeds on
+// the second attempt — the count=1 rule is exhausted within the single
+// worker process.
+func TestFabricTransientRetry(t *testing.T) {
+	cfg, mopt, set := testGrid()
+	keys := gridKeys(t, cfg, set)
+	victim := keys[0]
+
+	coord := startCoordinator(t, Options{
+		Workers: 1,
+		Spec:    cfg.Spec(),
+		Set:     set,
+		Faults:  "worker.cell=" + victim + ":error:transient:count=1",
+		Policy:  pool.Policy{Retries: 2, Backoff: 5 * time.Millisecond},
+	})
+	fcfg := cfg
+	fcfg.Runner = coord
+	got, err := experiments.Matrix(fcfg, mopt)
+	if err != nil {
+		t.Fatalf("transient fault was not retried: %v", err)
+	}
+	want, err := experiments.Matrix(cfg, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+		t.Error("retried run differs from undisturbed run")
+	}
+	st := coord.Stats()
+	if st.Retries != 1 {
+		t.Errorf("retries = %d, want 1", st.Retries)
+	}
+	if st.Deaths != 0 {
+		t.Errorf("deaths = %d, want 0 (a retried error is not a dead worker)", st.Deaths)
+	}
+}
+
+// TestFabricCacheDedup is the content-cache acceptance: a second run
+// over the same grid serves every cell from the cache (>= 90%
+// required; 100% expected), with identical results — and a schema
+// bump (satellite 6) forces full recomputation.
+func TestFabricCacheDedup(t *testing.T) {
+	cfg, mopt, set := testGrid()
+	keys := gridKeys(t, cfg, set)
+	dir := t.TempDir()
+
+	runWith := func(cc *Cache) ([]experiments.MatrixCell, Stats) {
+		t.Helper()
+		coord := startCoordinator(t, Options{Workers: 2, Spec: cfg.Spec(), Set: set, Cache: cc})
+		fcfg := cfg
+		fcfg.Runner = coord
+		cells, err := experiments.Matrix(fcfg, mopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coord.Close()
+		return cells, coord.Stats()
+	}
+
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, st1 := runWith(c1)
+	if st1.CacheMisses != len(keys) || st1.CacheHits != 0 {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/%d", st1.CacheHits, st1.CacheMisses, len(keys))
+	}
+
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, st2 := runWith(c2)
+	if st2.CacheHits != len(keys) || st2.CacheMisses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want %d/0", st2.CacheHits, st2.CacheMisses, len(keys))
+	}
+	if st2.Cells != 0 {
+		t.Errorf("warm run dispatched %d cells, want 0", st2.Cells)
+	}
+	if !bytes.Equal(mustJSON(t, first), mustJSON(t, second)) {
+		t.Error("cache-served results differ from computed ones")
+	}
+
+	// Satellite 6: bumping the stage version string in the key must
+	// miss every entry and recompute.
+	c3, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3.Schema = experiments.CellSchema + "-bumped"
+	third, st3 := runWith(c3)
+	if st3.CacheHits != 0 || st3.CacheMisses != len(keys) {
+		t.Errorf("bumped-schema run: hits=%d misses=%d, want 0/%d", st3.CacheHits, st3.CacheMisses, len(keys))
+	}
+	if !bytes.Equal(mustJSON(t, first), mustJSON(t, third)) {
+		t.Error("recomputed results differ")
+	}
+}
+
+// TestFabricTCPWorker attaches a worker over TCP (fsexp -worker
+// -connect) instead of spawning: same protocol, same results.
+func TestFabricTCPWorker(t *testing.T) {
+	cfg, mopt, set := testGrid()
+	coord := startCoordinator(t, Options{Listen: "127.0.0.1:0", Spec: cfg.Spec(), Set: set})
+	if coord.Addr() == "" {
+		t.Fatal("no listener address")
+	}
+	workerErr := make(chan error, 1)
+	go func() { workerErr <- RunWorkerTCP(coord.Addr()) }()
+
+	fcfg := cfg
+	fcfg.Runner = coord
+	got, err := experiments.Matrix(fcfg, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Matrix(cfg, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+		t.Error("TCP-worker results differ from local run")
+	}
+	st := coord.Stats()
+	if st.Attached != 1 || st.Spawned != 0 {
+		t.Errorf("attached=%d spawned=%d, want 1/0", st.Attached, st.Spawned)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-workerErr:
+		if err != nil {
+			t.Errorf("TCP worker exited with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("TCP worker did not exit after shutdown")
+	}
+}

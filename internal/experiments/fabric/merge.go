@@ -1,0 +1,77 @@
+package fabric
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"falseshare/internal/experiments/journal"
+	"falseshare/internal/obs"
+)
+
+// MergeWorkerJournals folds every journal-worker-*.jsonl in dir into
+// the main journal.jsonl, then removes the worker files. Keys the
+// main journal already holds are kept as-is (the coordinator's copy
+// is authoritative — it is what the manifests rendered); keys only a
+// worker recorded — cells a worker finished but whose report never
+// reached the coordinator before it died — are appended, so a
+// -resume run replays them instead of recomputing.
+//
+// Worker files visit in sorted name order and keys within a file in
+// sorted order, so a merge is deterministic regardless of which
+// worker finished what. The merge is idempotent: re-running it (a
+// resume after a crash mid-merge) converges to the same journal.
+func MergeWorkerJournals(dir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "journal-worker-*.jsonl"))
+	if err != nil {
+		return fmt.Errorf("fabric: merge journals: %w", err)
+	}
+	if len(files) == 0 {
+		return nil
+	}
+	sort.Strings(files)
+	main, err := journal.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fabric: merge journals: %w", err)
+	}
+	defer main.Close()
+	merged := 0
+	for _, file := range files {
+		wj, err := journal.OpenFile(dir, filepath.Base(file))
+		if err != nil {
+			obs.Logf("fabric: merge: skipping %s: %v", filepath.Base(file), err)
+			continue
+		}
+		type rec struct {
+			key   string
+			data  json.RawMessage
+			spans []*obs.Span
+		}
+		var recs []rec
+		wj.Each(func(key string, data json.RawMessage, spans []*obs.Span) {
+			recs = append(recs, rec{key, data, spans})
+		})
+		wj.Close()
+		sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
+		for _, r := range recs {
+			if main.Has(r.key) {
+				continue
+			}
+			if err := main.Append(r.key, r.data, r.spans); err != nil {
+				return fmt.Errorf("fabric: merge journals: %w", err)
+			}
+			merged++
+		}
+		// The worker file is folded in; removing it keeps a future
+		// run's worker ids from appending to stale files.
+		if err := os.Remove(file); err != nil {
+			obs.Logf("fabric: merge: %v", err)
+		}
+	}
+	if merged > 0 {
+		obs.Logf("fabric: merged %d worker-journal entries into %s", merged, main.Path())
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"falseshare/internal/experiments/journal"
+)
+
+// TestMergeWorkerJournals pins the crash-survival contract: cells a
+// worker finished but never managed to report merge into the main
+// journal, while the coordinator's own copies stay authoritative.
+func TestMergeWorkerJournals(t *testing.T) {
+	dir := t.TempDir()
+	main, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := main.Append("cell/a", json.RawMessage(`"main-a"`), nil); err != nil {
+		t.Fatal(err)
+	}
+	main.Close()
+
+	w0, err := journal.OpenFile(dir, WorkerJournalFile(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cell/a duplicates a key the coordinator already journaled (the
+	// normal case: worker reported it, coordinator recorded it) with
+	// different bytes, proving main wins.
+	w0.Append("cell/a", json.RawMessage(`"worker-a"`), nil)
+	w0.Append("cell/b", json.RawMessage(`"worker-b"`), nil)
+	w0.Close()
+	w1, err := journal.OpenFile(dir, WorkerJournalFile(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1.Append("cell/c", json.RawMessage(`"worker-c"`), nil)
+	w1.Close()
+
+	if err := MergeWorkerJournals(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer merged.Close()
+	want := map[string]string{
+		"cell/a": `"main-a"`, // coordinator's copy authoritative
+		"cell/b": `"worker-b"`,
+		"cell/c": `"worker-c"`,
+	}
+	if merged.Len() != len(want) {
+		t.Errorf("merged journal has %d keys, want %d", merged.Len(), len(want))
+	}
+	for key, data := range want {
+		got, _, ok := merged.Lookup(key)
+		if !ok {
+			t.Errorf("key %s missing after merge", key)
+			continue
+		}
+		if !bytes.Equal(got, json.RawMessage(data)) {
+			t.Errorf("key %s = %s, want %s", key, got, data)
+		}
+	}
+
+	// Worker files are consumed...
+	left, _ := filepath.Glob(filepath.Join(dir, "journal-worker-*.jsonl"))
+	if len(left) != 0 {
+		t.Errorf("worker journals left behind: %v", left)
+	}
+	// ...and the merge is idempotent: running it again (resume after a
+	// crash mid-merge) changes nothing.
+	if err := MergeWorkerJournals(dir); err != nil {
+		t.Fatal(err)
+	}
+	again, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.Len() != len(want) {
+		t.Errorf("second merge changed the journal: %d keys, want %d", again.Len(), len(want))
+	}
+}
+
+func TestMergeWorkerJournalsNoFiles(t *testing.T) {
+	if err := MergeWorkerJournals(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}

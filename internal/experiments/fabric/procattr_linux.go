@@ -1,0 +1,17 @@
+//go:build linux
+
+package fabric
+
+import (
+	"os/exec"
+	"syscall"
+)
+
+// setProcAttr arranges for a spawned worker to die with its
+// coordinator: PDEATHSIG delivers SIGKILL to the worker when the
+// parent thread exits, the kernel-level backstop behind the
+// second-SIGINT reap — even a coordinator killed with SIGKILL leaves
+// no orphaned workers.
+func setProcAttr(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Pdeathsig: syscall.SIGKILL}
+}

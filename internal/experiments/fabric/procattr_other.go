@@ -1,0 +1,10 @@
+//go:build !linux
+
+package fabric
+
+import "os/exec"
+
+// setProcAttr is a no-op off Linux: there is no parent-death signal,
+// so orphan prevention relies on the explicit Kill/Close reaping and
+// on workers exiting at stdin EOF.
+func setProcAttr(cmd *exec.Cmd) {}

@@ -1,0 +1,197 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"time"
+
+	"falseshare/internal/experiments"
+	"falseshare/internal/experiments/journal"
+	"falseshare/internal/faultinject"
+	"falseshare/internal/obs"
+)
+
+// WorkerJournalFile names a worker's private journal inside the
+// shared run directory.
+func WorkerJournalFile(id int) string {
+	return fmt.Sprintf("journal-worker-%d.jsonl", id)
+}
+
+// RunWorker speaks the worker side of the protocol over an arbitrary
+// byte stream (stdin/stdout in spawn mode, a TCP connection in
+// -connect mode). It blocks until the coordinator shuts the link down
+// — a shutdown frame, or the stream closing (a spawned worker whose
+// coordinator died sees stdin EOF and exits; no orphans).
+//
+// The worker enumerates the full cell grid from the hello frame's
+// spec before accepting assignments, runs one cell at a time, and
+// journals every successful cell into its own journal file before
+// reporting it — so even if the report (or the worker) dies, the
+// finished work survives and merges into the main journal.
+func RunWorker(in io.Reader, out io.Writer) error {
+	conn := NewConn(in, out)
+	hello, err := conn.Read()
+	if err != nil {
+		return fmt.Errorf("fabric: worker: reading hello: %w", err)
+	}
+	if hello.Type != TypeHello || hello.Spec == nil || hello.Set == nil {
+		return fmt.Errorf("fabric: worker: expected hello, got %q", hello.Type)
+	}
+	if hello.Faults != "" {
+		set, err := faultinject.Parse(hello.Faults)
+		if err != nil {
+			return fmt.Errorf("fabric: worker: %w", err)
+		}
+		faultinject.Enable(set)
+	}
+	enum, err := experiments.Collect(hello.Spec.Config(), *hello.Set)
+	if err != nil {
+		return fmt.Errorf("fabric: worker: %w", err)
+	}
+	var jnl *journal.Journal
+	if hello.RunDir != "" {
+		jnl, err = journal.OpenFile(hello.RunDir, WorkerJournalFile(hello.Worker))
+		if err != nil {
+			// A worker without a journal still works; it just cannot
+			// preserve completions across its own death.
+			obs.Logf("fabric: worker %d: no journal: %v", hello.Worker, err)
+			jnl = nil
+		}
+	}
+	if err := conn.Write(&Frame{Type: TypeReady, Cells: enum.Len()}); err != nil {
+		return err
+	}
+
+	// The read loop stays responsive while a cell runs: assignments
+	// queue to a single runner goroutine (cells run serially — the
+	// coordinator keeps one cell outstanding per worker, the buffer
+	// only decouples the loops), pings answer immediately so a busy
+	// worker still proves liveness.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	assigns := make(chan *Frame, 4)
+	runnerDone := make(chan struct{})
+	go func() {
+		defer close(runnerDone)
+		for a := range assigns {
+			runCell(ctx, conn, enum, jnl, a)
+		}
+	}()
+
+	defer jnl.Close()
+	for {
+		f, err := conn.Read()
+		if err != nil {
+			cancel()
+			close(assigns)
+			<-runnerDone
+			if peerGone(err) {
+				return nil
+			}
+			return err
+		}
+		switch f.Type {
+		case TypePing:
+			if err := conn.Write(&Frame{Type: TypePong}); err != nil {
+				cancel()
+				close(assigns)
+				<-runnerDone
+				if peerGone(err) {
+					return nil
+				}
+				return err
+			}
+		case TypeAssign:
+			assigns <- f
+		case TypeShutdown:
+			close(assigns)
+			<-runnerDone
+			cancel()
+			return nil
+		default:
+			// Unknown frames are ignored, not fatal: an older worker
+			// against a newer coordinator degrades instead of dying.
+			obs.Logf("fabric: worker: ignoring frame %q", f.Type)
+		}
+	}
+}
+
+// peerGone reports whether a link error means the coordinator's end
+// is simply gone. A spawned worker sees stdin EOF; a TCP worker whose
+// coordinator closed with frames (a pong, a late result) still in
+// flight sees a connection reset instead, because unread data at
+// close time turns the FIN into an RST. Either way the worker's job
+// is over and it retires cleanly — no orphans, no spurious errors.
+func peerGone(err error) bool {
+	return errors.Is(err, io.EOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
+
+// RunWorkerTCP dials the coordinator and serves the worker protocol
+// over the connection (fsexp -worker -connect addr).
+func RunWorkerTCP(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("fabric: worker: %w", err)
+	}
+	defer conn.Close()
+	return RunWorker(conn, conn)
+}
+
+// runCell executes one assignment and reports its result. The chaos
+// points live here: worker.cell fires before the cell runs (exit and
+// hang simulate crashes and wedges mid-cell), worker.send fires
+// before the report (corrupt mangles the result frame so the
+// coordinator must treat this worker as failed).
+func runCell(ctx context.Context, conn *Conn, enum *experiments.Enumeration, jnl *journal.Journal, a *Frame) {
+	res := &Frame{Type: TypeResult, Key: a.Key, Fingerprint: a.Fingerprint}
+	if ferr := faultinject.Fire(ctx, "worker.cell", a.Key); ferr != nil {
+		res.Err = ferr.Error()
+		res.Retryable = isTransient(ferr)
+		conn.Write(res)
+		return
+	}
+	mark := experiments.MarkEvents()
+	data, spans, err, ok := enum.Run(ctx, a.Key)
+	switch {
+	case !ok:
+		// Grid mismatch: the coordinator asked for a cell this worker
+		// never enumerated. Reported, not fatal — the coordinator
+		// decides whether to fail the cell or the worker.
+		res.Err = fmt.Sprintf("worker has no cell %q (grid mismatch?)", a.Key)
+	case err != nil:
+		res.Err = err.Error()
+		res.Retryable = isTransient(err)
+	default:
+		res.Data = data
+		res.Spans = spans
+		if ev := experiments.EventsSince(mark); !ev.Empty() {
+			res.Events = &ev
+		}
+		if jnl != nil {
+			if aerr := jnl.Append(a.Key, data, spans); aerr != nil {
+				obs.Logf("fabric: %v", aerr)
+			}
+		}
+	}
+	if ferr := faultinject.Fire(ctx, "worker.send", a.Key); ferr != nil && faultinject.IsCorrupt(ferr) {
+		conn.writeMangled(res)
+		return
+	}
+	if werr := conn.Write(res); werr != nil {
+		obs.Logf("fabric: worker: report %s: %v", a.Key, werr)
+	}
+}
+
+// isTransient mirrors the pool's default transience classifier: any
+// error in the chain declaring itself Transient().
+func isTransient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}

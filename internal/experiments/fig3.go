@@ -55,6 +55,12 @@ func Figure3(cfg Config) ([]Fig3Cell, error) {
 				key := fmt.Sprintf("fig3/%s/%s/b%d", b.Name, ver, blk)
 				jobs = append(jobs, pool.Job[Fig3Cell]{
 					Key: key,
+					Fingerprint: fingerprint("fig3",
+						"prog="+b.Name, "ver="+string(ver),
+						fmt.Sprintf("procs=%d", procs), fmt.Sprintf("blk=%d", blk),
+						fmt.Sprintf("scale=%d", cfg.Scale), fmt.Sprintf("budget=%d", cfg.StepBudget),
+						fmt.Sprintf("verify=%v", cfg.Verify),
+						"src="+srcHash(b.Source(cfg.Scale))),
 					Run: func(ctx context.Context) (Fig3Cell, error) {
 						prog, err := cfg.buildProgram(ctx, key, b, ver, procs, blk, transform.Config{})
 						if err != nil {

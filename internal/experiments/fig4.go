@@ -36,6 +36,11 @@ func sweepJobs(b *workload.Benchmark, cfg Config, machine ksr.Config) ([]pool.Jo
 		key := fmt.Sprintf("fig4/%s/%s/p%d", b.Name, ver, p)
 		return pool.Job[*ksr.Result]{
 			Key: key,
+			Fingerprint: fingerprint("fig4",
+				"prog="+b.Name, "ver="+string(ver), fmt.Sprintf("procs=%d", p),
+				fmt.Sprintf("machine=%+v", machine),
+				fmt.Sprintf("scale=%d", cfg.Scale), fmt.Sprintf("verify=%v", cfg.Verify),
+				"src="+srcHash(verSource(b, ver, cfg.Scale))),
 			Run: func(ctx context.Context) (*ksr.Result, error) {
 				prog, err := cfg.buildProgram(ctx, key, b, ver, p, machine.BlockSize, transform.Config{})
 				if err != nil {

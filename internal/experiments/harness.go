@@ -85,6 +85,16 @@ type Config struct {
 	// DiagCells and RenderDiag. Like Verify, cells replayed from the
 	// journal skip measurement and record nothing.
 	Diag bool
+	// Runner, when non-nil, executes cells in other processes: every
+	// driver fan-out is dispatched through it instead of the local
+	// pool (journal hits still resolve locally first). The distributed
+	// fabric's coordinator implements it; see CellRunner.
+	Runner CellRunner
+
+	// enum, when non-nil, switches runJobs into enumeration mode:
+	// jobs are captured into the grid instead of executed. Set only
+	// by Collect.
+	enum *Enumeration
 }
 
 // DefaultConfig returns the paper's experimental setup.
@@ -136,7 +146,20 @@ func ProgramCtx(ctx context.Context, b *workload.Benchmark, ver Version, nprocs 
 // context, failure policy and journal: jobs already checkpointed in
 // cfg.Journal return their stored results without running, fresh
 // completions are checkpointed as they finish.
+//
+// Two alternate modes branch here, both invisible to the drivers:
+// with cfg.enum set (Collect) the jobs are captured, not run, and the
+// driver sees zero-valued results behind an errCollected sentinel;
+// with cfg.Runner set the cells execute in other processes and the
+// results, spans and journal checkpoints are reassembled locally.
 func runJobs[T any](cfg Config, name string, jobs []pool.Job[T]) ([]T, error) {
+	if cfg.enum != nil {
+		collectJobs(cfg.enum, jobs)
+		return make([]T, len(jobs)), errCollected
+	}
+	if cfg.Runner != nil {
+		return runRemote(cfg, name, jobs)
+	}
 	return pool.RunPolicy(cfg.Ctx, name, cfg.Workers, cfg.Policy, journal.WrapAll(cfg.Journal, jobs))
 }
 

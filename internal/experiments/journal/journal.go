@@ -53,10 +53,18 @@ type Journal struct {
 // fatal: losing one checkpoint costs one re-run, while refusing to
 // open would cost the whole resume.
 func Open(dir string) (*Journal, error) {
+	return OpenFile(dir, FileName)
+}
+
+// OpenFile is Open with an explicit file name inside dir. The
+// distributed fabric gives every worker process its own journal file
+// ("journal-worker-3.jsonl") in the shared run directory, so worker
+// appends never contend and a dead worker's checkpoints survive it.
+func OpenFile(dir, file string) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	path := filepath.Join(dir, FileName)
+	path := filepath.Join(dir, file)
 	j := &Journal{entries: map[string]*entry{}, path: path}
 	if b, err := os.ReadFile(path); err == nil {
 		for _, line := range bytes.Split(b, []byte("\n")) {
@@ -106,6 +114,38 @@ func (j *Journal) Torn() int {
 		return 0
 	}
 	return j.torn
+}
+
+// Has reports whether key is checkpointed.
+func (j *Journal) Has(key string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.entries[key]
+	return ok
+}
+
+// Each visits every checkpointed entry, in no particular order. The
+// fabric uses it to fold a dead worker's journal into the main one.
+func (j *Journal) Each(fn func(key string, data json.RawMessage, spans []*obs.Span)) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	keys := make([]string, 0, len(j.entries))
+	for k := range j.entries {
+		keys = append(keys, k)
+	}
+	entries := make([]*entry, 0, len(keys))
+	for _, k := range keys {
+		entries = append(entries, j.entries[k])
+	}
+	j.mu.Unlock()
+	for i, k := range keys {
+		fn(k, entries[i].Data, entries[i].Spans)
+	}
 }
 
 // Lookup returns the checkpointed result JSON and span subtree for

@@ -42,6 +42,12 @@ import (
 type Job[T any] struct {
 	Key string
 	Run func(ctx context.Context) (T, error)
+	// Fingerprint, when non-empty, is a content hash of everything the
+	// job's result depends on (program source, cell configuration,
+	// stage version). The pool itself ignores it; the distributed
+	// fabric uses it to key its content-addressed result cache, so two
+	// cells with the same fingerprint never compute twice.
+	Fingerprint string
 }
 
 // Error wraps a job failure with the job's key.

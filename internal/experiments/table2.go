@@ -92,6 +92,12 @@ func Table2(cfg Config) ([]Table2Row, error) {
 		key := fmt.Sprintf("table2/%s/b%d/%s", b.Name, blk, variant)
 		jobs = append(jobs, pool.Job[int64]{
 			Key: key,
+			Fingerprint: fingerprint("table2",
+				"prog="+b.Name, fmt.Sprintf("blk=%d", blk), "variant="+variant,
+				fmt.Sprintf("procs=%d", procs), fmt.Sprintf("heur=%+v", hc),
+				fmt.Sprintf("scale=%d", cfg.Scale), fmt.Sprintf("budget=%d", cfg.StepBudget),
+				fmt.Sprintf("verify=%v", cfg.Verify),
+				"src="+srcHash(b.Source(cfg.Scale))),
 			Run: func(ctx context.Context) (int64, error) {
 				prog, err := cfg.buildProgram(ctx, key, b, ver, procs, blk, hc)
 				if err != nil {

@@ -18,13 +18,24 @@
 //	vm.run:hang:count=1                       hang one run until cancelled
 //	pool.worker:error:transient:count=2       two retryable failures
 //	pool.worker:error:p=0.25:seed=7           a deterministic 25% of keys
+//	worker.cell=matrix/gen-003:exit           kill the worker process
+//	                                          that picks up that cell
+//	worker.send:corrupt:count=1               mangle one result frame
 //
 // Points: pool.worker, core.compile, core.restructure, vm.run,
 // trace.partee, transform.apply (detail: the decision's target key —
 // fail one transformation decision), transform.corrupt (same detail;
 // makes the applier emit a deliberately wrong rewrite, a seeded
 // miscompile for translation-validation tests), and layout (detail:
-// the shared global being laid out). A literal * matches every point.
+// the shared global being laid out). The distributed fabric adds
+// worker.cell (fired in a worker process at the start of every
+// assigned cell — exit and hang simulate worker crashes and wedges),
+// worker.send (the worker's result transmission; corrupt mangles the
+// frame so the coordinator must treat the worker as failed), and
+// coord.kill (fired in the coordinator at each assignment; an error
+// firing there makes the coordinator SIGKILL the assigned worker
+// mid-cell — a deterministic, fires-once-globally worker kill).
+// A literal * matches every point.
 //
 // Determinism: `after`/`count` count hits on a per-rule atomic counter
 // (exact under -j 1; under parallel runs the set of firing hits can
@@ -36,8 +47,10 @@ package faultinject
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"os"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -57,6 +70,16 @@ const (
 	// ModeHang blocks until the site's context is cancelled, then
 	// returns the context error.
 	ModeHang
+	// ModeExit terminates the process with the rule's exit code
+	// (default 3) — the fabric's worker-crash chaos mode. Only sites
+	// that are legitimate whole-process kill points (worker cells)
+	// should be targeted with it; the site cannot intercept it.
+	ModeExit
+	// ModeCorrupt returns an *Error marked Corrupted. Sites that
+	// support corruption (the fabric worker's result send) check
+	// IsCorrupt and deliberately mangle their payload instead of
+	// failing; other sites treat it as a plain injected error.
+	ModeCorrupt
 )
 
 func (m Mode) String() string {
@@ -69,6 +92,10 @@ func (m Mode) String() string {
 		return "delay"
 	case ModeHang:
 		return "hang"
+	case ModeExit:
+		return "exit"
+	case ModeCorrupt:
+		return "corrupt"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -80,6 +107,9 @@ type Error struct {
 	Point     string
 	Detail    string
 	Retryable bool
+	// Corrupted marks a ModeCorrupt injection: the site should mangle
+	// its payload rather than fail, if it knows how.
+	Corrupted bool
 }
 
 func (e *Error) Error() string {
@@ -92,12 +122,19 @@ func (e *Error) Error() string {
 // Transient reports whether the fault was declared retryable.
 func (e *Error) Transient() bool { return e.Retryable }
 
+// IsCorrupt reports whether err carries a ModeCorrupt injection.
+func IsCorrupt(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Corrupted
+}
+
 // Rule is one parsed fault rule.
 type Rule struct {
 	Point     string        // site name, or "*"
 	Match     string        // substring the site detail must contain
 	Mode      Mode          // what to do
 	Delay     time.Duration // ModeDelay duration
+	ExitCode  int           // ModeExit status (default 3)
 	After     int64         // skip the first After matching hits
 	Count     int64         // fire at most Count times (0: unlimited)
 	P         float64       // fire probability over details (0: always)
@@ -178,8 +215,20 @@ func parseRule(spec string) (*Rule, error) {
 		r.Delay = d
 	case "hang":
 		r.Mode = ModeHang
+	case "exit":
+		r.Mode = ModeExit
+		r.ExitCode = 3
+		if modeArg != "" {
+			n, err := strconv.Atoi(modeArg)
+			if err != nil || n < 0 || n > 255 {
+				return nil, fmt.Errorf("exit needs a status in [0,255] (exit=7), got %q", modeArg)
+			}
+			r.ExitCode = n
+		}
+	case "corrupt":
+		r.Mode = ModeCorrupt
 	default:
-		return nil, fmt.Errorf("unknown mode %q (error|panic|delay|hang)", mode)
+		return nil, fmt.Errorf("unknown mode %q (error|panic|delay|hang|exit|corrupt)", mode)
 	}
 
 	for _, f := range fields[2:] {
@@ -266,10 +315,19 @@ func Fire(ctx context.Context, point, detail string) error {
 			}
 			<-ctx.Done()
 			return ctx.Err()
+		case ModeExit:
+			fmt.Fprintf(os.Stderr, "faultinject: injected exit(%d) at %s (%s)\n", r.ExitCode, point, detail)
+			osExit(r.ExitCode)
+		case ModeCorrupt:
+			return &Error{Point: point, Detail: detail, Retryable: r.Transient, Corrupted: true}
 		}
 	}
 	return nil
 }
+
+// osExit is swapped out by tests that must observe ModeExit without
+// dying.
+var osExit = os.Exit
 
 // matches reports whether the rule applies to this site hit at all.
 func (r *Rule) matches(point, detail string) bool {
