@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
@@ -16,8 +17,11 @@ import (
 	"falseshare/internal/workload"
 )
 
-// BenchSchema identifies the BENCH_sim.json format.
-const BenchSchema = "falseshare/bench/v1"
+// BenchSchema identifies the BENCH_sim.json format. v2 added the
+// wide-machine synthetic cells (program "synthetic", BenchWideProcs ×
+// 64-byte blocks) proving the multi-word sharer directory holds the
+// 12-processor ns/ref band out to 1024 processors.
+const BenchSchema = "falseshare/bench/v2"
 
 // BenchPrograms is the fixed workload matrix the -bench mode replays:
 // the three trace-heavy benchmarks of Table 1.
@@ -25,6 +29,74 @@ var BenchPrograms = []string{"maxflow", "mp3d", "pverify"}
 
 // BenchBlocks are the block sizes of the -bench matrix.
 var BenchBlocks = []int64{16, 64, 128, 256}
+
+// BenchWideProcs is the processor axis of the wide-machine cells: the
+// paper-scale widths (the KSR2 discussion targets machines far beyond
+// 64 processors) plus the 12-processor anchor the trajectory compares
+// them against. Every width replays the same seeded synthetic
+// workload shape at the benchWideBlock block size.
+var BenchWideProcs = []int{12, 128, 256, 1024}
+
+// benchWideBlock fixes the wide cells' block size; benchWideRefs
+// sizes their traces. The trace weak-scales — at least benchWideMin
+// references, at least benchWidePerProc per processor — so every
+// width replays the same per-processor work and the cold-start
+// fraction stays constant across the axis instead of drowning the
+// wide cells in first-touch misses.
+const (
+	benchWideBlock   = 64
+	benchWideMin     = 4 << 20
+	benchWidePerProc = 1 << 15
+)
+
+func benchWideRefs(nprocs int) int {
+	if n := nprocs * benchWidePerProc; n > benchWideMin {
+		return n
+	}
+	return benchWideMin
+}
+
+// benchWideTrace builds the deterministic wide-machine workload the
+// synthetic cells replay. It is shaped like real trace-driven replay:
+// processors issue in round-robin quanta of 64 consecutive references
+// (trace files interleave per-CPU chunks, not single references).
+// Each processor mostly works a private hot region packed 192 bytes
+// from its neighbors', so boundary blocks are falsely shared between
+// adjacent processors — the paper's pathology, at an intensity that
+// does not depend on the machine width — and the rest of the
+// references read a small immutable global region. ~30% of private
+// references are writes, with a sprinkle of block-spanning doubles.
+// The per-reference work this trace induces is width-invariant by
+// construction, so the ns/ref series across BenchWideProcs isolates
+// the directory implementation: a coherence path that scans O(procs)
+// shows up as a cliff, a vector walk stays flat. The real parc traces
+// are generated at 12 processors and never exercise wide sharer
+// vectors, which is why the wide cells need a synthetic shape.
+func benchWideTrace(seed int64, nprocs, n int) []vm.Ref {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]vm.Ref, 0, n)
+	const quantum = 256
+	for len(out) < n {
+		proc := rng.Intn(nprocs)
+		for q := 0; q < quantum && len(out) < n; q++ {
+			var addr int64
+			write := false
+			if rng.Intn(10) < 8 { // private hot region, 192 B per proc
+				addr = 0x9000 + int64(proc)*192 + rng.Int63n(192)
+				write = rng.Intn(10) < 3
+			} else { // immutable global region: read-only sharing
+				addr = 0x1000 + rng.Int63n(8*1024)
+			}
+			addr -= addr % 4
+			size := int8(4)
+			if rng.Intn(8) == 0 {
+				size = 8 // spans a block boundary at the right offset
+			}
+			out = append(out, vm.Ref{Proc: proc, Addr: addr, Size: size, Write: write})
+		}
+	}
+	return out
+}
 
 // BenchCell is one (program × block) simulator measurement: the full
 // reference trace of the unoptimized program replayed through one
@@ -154,6 +226,51 @@ func Bench(cfg Config, programs []string, blocks []int64) (*BenchReport, error) 
 			sp.End()
 			rep.Cells = append(rep.Cells, cell)
 		}
+	}
+
+	// Wide-machine cells: the same seeded synthetic workload replayed
+	// at every BenchWideProcs width. These are the trajectory's proof
+	// that 128–1024-processor configurations run in the same ns/ref
+	// band as the 12-processor anchor instead of falling off the old
+	// O(procs × assoc) scan cliff.
+	for _, wp := range BenchWideProcs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		refs := benchWideTrace(0x51de, wp, benchWideRefs(wp))
+		sim, err := cache.New(cache.DefaultConfig(wp, benchWideBlock))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench: wide p%d: %w", wp, err)
+		}
+		sp := obs.Begin(fmt.Sprintf("bench:synthetic:p%d", wp))
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		for _, r := range refs {
+			sim.Access(r.Proc, r.Addr, int64(r.Size), r.Write)
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		st := sim.Stats()
+		cell := BenchCell{
+			Program: "synthetic",
+			Version: "W",
+			Procs:   wp,
+			Block:   benchWideBlock,
+			Refs:    st.Refs,
+			WallNs:  wall.Nanoseconds(),
+		}
+		if st.Refs > 0 {
+			cell.NsPerRef = float64(wall.Nanoseconds()) / float64(st.Refs)
+			cell.AllocsPerRef = float64(ms1.Mallocs-ms0.Mallocs) / float64(st.Refs)
+		}
+		cell.MissRate = st.MissRate()
+		sp.Set("refs", st.Refs)
+		sp.Set("wall_ns", wall.Nanoseconds())
+		sp.Set("allocs", int64(ms1.Mallocs-ms0.Mallocs))
+		sp.End()
+		rep.Cells = append(rep.Cells, cell)
 	}
 
 	// End-to-end figure/table pipelines, timed whole: these are the

@@ -44,7 +44,7 @@ import (
 // of every content-cache key (alongside the cell fingerprint), so
 // bumping it — on any change to what cells compute or how results are
 // encoded — invalidates every cached cell at once instead of serving
-// stale results. The falseshare/bench/v1 idiom.
+// stale results. The falseshare/bench schema idiom (see BenchSchema).
 const CellSchema = "falseshare/cell/v1"
 
 // ConfigSpec is the JSON-serializable subset of Config a worker needs

@@ -33,6 +33,28 @@ func BenchmarkAccess(b *testing.B) {
 	}
 }
 
+// BenchmarkAccessWide is BenchmarkAccess at the machine widths the
+// paper's KSR2 discussion gestures at: 128, 256 and 1024 processors
+// (sharer vectors of 2, 4 and 16 words) at the 64-byte block size.
+// Before the multi-word directory these configurations fell off the
+// O(procs × assoc) scan cliff — roughly 10× the 12-proc ns/ref; the
+// vector walk keeps them within the same band.
+func BenchmarkAccessWide(b *testing.B) {
+	for _, nprocs := range []int{128, 256, 1024} {
+		b.Run(fmt.Sprintf("p%d", nprocs), func(b *testing.B) {
+			s := mustNew(b, DefaultConfig(nprocs, 64))
+			tr := benchTrace(nprocs, 1<<16)
+			mask := len(tr) - 1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := tr[i&mask]
+				s.Access(r.proc, r.addr, r.size, r.write)
+			}
+		})
+	}
+}
+
 // BenchmarkAccessWordInvalidate is BenchmarkAccess under the Dubois
 // per-word-invalidation protocol (the §6 hardware ablation).
 func BenchmarkAccessWordInvalidate(b *testing.B) {

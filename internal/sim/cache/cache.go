@@ -42,8 +42,18 @@ const WordSize = 4
 type Config struct {
 	NumProcs  int
 	BlockSize int64 // bytes, power of two, >= 4 (<= 256 with WordInvalidate)
-	CacheSize int64 // per-processor first-level cache, bytes
-	Assoc     int   // set associativity (LRU); <= 0 defaults to 4
+
+	// CacheSize is the per-processor first-level cache in bytes.
+	// Rounding contract: New derives the set count as CacheSize /
+	// (BlockSize × Assoc) rounded DOWN to a power of two (minimum 1)
+	// so block numbers can be masked into sets. A CacheSize whose
+	// division is not already a power of two therefore simulates the
+	// next smaller power-of-two geometry — e.g. 48 KB with 64-byte
+	// blocks at associativity 4 simulates 128 sets (32 KB), not 192.
+	// The geometry actually simulated is surfaced as Stats.Sets and
+	// Stats.EffectiveCacheSize in every report and manifest.
+	CacheSize int64
+	Assoc     int // set associativity (LRU); <= 0 defaults to 4
 
 	// WordInvalidate models the hardware alternative of Dubois et al.
 	// (paper §6): writes invalidate remote copies at word rather than
@@ -224,6 +234,17 @@ func (k MissKind) String() string {
 // Stats accumulates simulation results.
 type Stats struct {
 	Config Config
+
+	// Sets and EffectiveCacheSize record the cache geometry actually
+	// simulated: the set count is CacheSize / (BlockSize × Assoc)
+	// rounded down to a power of two (see the rounding contract on
+	// Config.CacheSize), so EffectiveCacheSize — Sets × BlockSize ×
+	// Assoc — can be smaller than the CacheSize the configuration
+	// names. Surfaced here so the round-down is visible in every
+	// stats report and manifest instead of silently shrinking the
+	// machine.
+	Sets               int64
+	EffectiveCacheSize int64
 
 	Refs   int64
 	Reads  int64
@@ -517,74 +538,92 @@ func (t *wordTable) get(word int64) wordStamp {
 	return wordStamp{}
 }
 
-type sharerPage [pageSize]uint64
-
 // sharerTable is a directory-style presence vector: for each block, a
 // bitmask of the processors whose cache currently holds a valid copy.
 // It turns the coherence broadcasts — "who else holds this block?",
 // "invalidate every other copy" — from O(nprocs × assoc) tag scans
-// into a single load plus a walk over the set bits, which on real
-// traces is almost always zero or one sharer. Only usable when
-// NumProcs fits a uint64; wider configurations fall back to scanning.
+// into a load plus a walk over the set bits, which on real traces is
+// almost always zero or one sharer. The vector is words uint64s per
+// block (words = ceil(NumProcs/64), fixed at New time): 64-processor
+// machines keep the historical single-word layout and one-load fast
+// path, and wider machines — the 128–1024-processor KSR2-scale
+// configurations — walk the extra words with the same
+// TrailingZeros64 loops. There is no scan fallback at any width.
 type sharerTable struct {
-	pages    []*sharerPage
-	overflow map[int64]*sharerPage
+	words    int64 // uint64s per block vector: ceil(NumProcs/64)
+	pages    [][]uint64
+	overflow map[int64][]uint64
 }
 
-// at returns the mask slot for a block, allocating its page on first
-// touch (used when the mask is mutated: fills, evictions,
-// invalidations).
-func (t *sharerTable) at(block int64) *uint64 {
+// at returns the vector slot for a block, allocating its page on first
+// touch (used when the vector is mutated: fills, evictions,
+// invalidations). The returned slice aliases the page and stays valid
+// forever; slicing an existing page allocates nothing.
+func (t *sharerTable) at(block int64) []uint64 {
 	pi := block >> pageShift
 	if uint64(pi) < uint64(len(t.pages)) {
 		if p := t.pages[pi]; p != nil {
-			return &p[block&pageMask]
+			off := (block & pageMask) * t.words
+			return p[off : off+t.words : off+t.words]
 		}
 	}
 	return t.slow(block, pi)
 }
 
-func (t *sharerTable) slow(block, pi int64) *uint64 {
+func (t *sharerTable) slow(block, pi int64) []uint64 {
+	var p []uint64
 	if pi >= 0 && pi < maxDirectPages {
 		if pi >= int64(len(t.pages)) {
-			pages := make([]*sharerPage, pi+1)
+			pages := make([][]uint64, pi+1)
 			copy(pages, t.pages)
 			t.pages = pages
 		}
-		p := t.pages[pi]
+		p = t.pages[pi]
 		if p == nil {
-			p = new(sharerPage)
+			p = make([]uint64, pageSize*t.words)
 			t.pages[pi] = p
 		}
-		return &p[block&pageMask]
+	} else {
+		if t.overflow == nil {
+			t.overflow = make(map[int64][]uint64)
+		}
+		p = t.overflow[pi]
+		if p == nil {
+			p = make([]uint64, pageSize*t.words)
+			t.overflow[pi] = p
+		}
 	}
-	if t.overflow == nil {
-		t.overflow = make(map[int64]*sharerPage)
-	}
-	p := t.overflow[pi]
-	if p == nil {
-		p = new(sharerPage)
-		t.overflow[pi] = p
-	}
-	return &p[block&pageMask]
+	off := (block & pageMask) * t.words
+	return p[off : off+t.words : off+t.words]
 }
 
-// get returns the mask without allocating: blocks never cached read as
-// zero (no sharers).
-func (t *sharerTable) get(block int64) uint64 {
+// get returns the vector without allocating: blocks never cached read
+// as nil (no sharers), and ranging over a nil slice visits nothing.
+func (t *sharerTable) get(block int64) []uint64 {
 	pi := block >> pageShift
 	if uint64(pi) < uint64(len(t.pages)) {
 		if p := t.pages[pi]; p != nil {
-			return p[block&pageMask]
+			off := (block & pageMask) * t.words
+			return p[off : off+t.words : off+t.words]
 		}
-		return 0
+		return nil
 	}
 	if t.overflow != nil {
 		if p := t.overflow[pi]; p != nil {
-			return p[block&pageMask]
+			off := (block & pageMask) * t.words
+			return p[off : off+t.words : off+t.words]
 		}
 	}
-	return 0
+	return nil
+}
+
+// set and unset maintain one processor's presence bit (fill/evict).
+func (t *sharerTable) set(block int64, proc int) {
+	t.at(block)[proc>>6] |= 1 << uint(proc&63)
+}
+
+func (t *sharerTable) unset(block int64, proc int) {
+	t.at(block)[proc>>6] &^= 1 << uint(proc&63)
 }
 
 // Sim is the multiprocessor cache simulator.
@@ -602,23 +641,22 @@ type Sim struct {
 	words wordTable
 
 	// sharers tracks which processors hold each block (see
-	// sharerTable). wideProcs marks configurations with more than 64
-	// processors, where the mask cannot represent every sharer and the
-	// coherence paths fall back to full tag scans.
-	sharers   sharerTable
-	wideProcs bool
+	// sharerTable): a multi-word presence vector sized from NumProcs
+	// at New time, so every width from 1 to 1024+ processors takes
+	// the same directory-walk coherence paths.
+	sharers sharerTable
 
 	// Protocol/topology/sector state (see protocol.go). sectored is
 	// set for both WordInvalidate and SectorSize modes; secShift is
 	// the log2 of the invalidation granularity (2 for word mode).
-	// ringMasks[r] is the sharer-mask footprint of ring r (narrow
-	// configurations only).
+	// ringMasks[r] is the sharer-vector footprint of ring r, in the
+	// same multi-word layout as the sharer table.
 	protocol  Protocol
 	sectored  bool
 	secShift  uint
 	twoRing   bool
 	nrings    int
-	ringMasks []uint64
+	ringMasks [][]uint64
 
 	time  int64
 	stats Stats
@@ -690,13 +728,13 @@ func New(cfg Config) (*Sim, error) {
 		nsets &= nsets - 1
 	}
 	s := &Sim{
-		cfg:       cfg,
-		nsets:     nsets,
-		setMask:   nsets - 1,
-		assoc:     int64(cfg.Assoc),
-		wideProcs: cfg.NumProcs > 64,
-		protocol:  cfg.Protocol,
+		cfg:      cfg,
+		nsets:    nsets,
+		setMask:  nsets - 1,
+		assoc:    int64(cfg.Assoc),
+		protocol: cfg.Protocol,
 	}
+	s.sharers.words = int64((cfg.NumProcs + 63) / 64)
 	for b := cfg.BlockSize; b > 1; b >>= 1 {
 		s.blkShift++
 	}
@@ -712,11 +750,13 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Topology == TopoTwoRing {
 		s.twoRing = true
 		s.nrings = (cfg.NumProcs + cfg.RingSize - 1) / cfg.RingSize
-		if !s.wideProcs {
-			s.ringMasks = make([]uint64, s.nrings)
-			for p := 0; p < cfg.NumProcs; p++ {
-				s.ringMasks[p/cfg.RingSize] |= 1 << uint(p)
-			}
+		s.ringMasks = make([][]uint64, s.nrings)
+		flat := make([]uint64, int64(s.nrings)*s.sharers.words)
+		for r := range s.ringMasks {
+			s.ringMasks[r] = flat[int64(r)*s.sharers.words : int64(r+1)*s.sharers.words]
+		}
+		for p := 0; p < cfg.NumProcs; p++ {
+			s.ringMasks[p/cfg.RingSize][p>>6] |= 1 << uint(p&63)
 		}
 	}
 	s.caches = make([][]line, cfg.NumProcs)
@@ -725,6 +765,8 @@ func New(cfg Config) (*Sim, error) {
 		s.caches[p] = make([]line, nsets*int64(cfg.Assoc))
 	}
 	s.stats.Config = cfg
+	s.stats.Sets = nsets
+	s.stats.EffectiveCacheSize = nsets * cfg.BlockSize * int64(cfg.Assoc)
 	s.stats.ProcRefs = make([]int64, cfg.NumProcs)
 	s.stats.ProcMisses = make([]int64, cfg.NumProcs)
 	s.stats.ProcCold = make([]int64, cfg.NumProcs)
@@ -906,9 +948,7 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 			obm.lostByInv = false
 			obm.lostAt = s.time
 		}
-		if !s.wideProcs {
-			*s.sharers.at(old) &^= 1 << uint(proc)
-		}
+		s.sharers.unset(old, proc)
 	}
 	st := stateShared
 	if write {
@@ -933,9 +973,7 @@ func (s *Sim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 		}
 	}
 	ways[victim] = line{tag: block, valid: true, state: st, lru: s.time}
-	if !s.wideProcs {
-		*s.sharers.at(block) |= 1 << uint(proc)
-	}
+	s.sharers.set(block, proc)
 	bm.seen = true
 	bm.resident = true
 	return kind
@@ -955,11 +993,14 @@ func (s *Sim) invalidateOthers(proc int, block, addr, size int64) {
 		return
 	}
 	base := (block & s.setMask) * s.assoc
-	if !s.wideProcs {
-		mp := s.sharers.at(block)
-		others := *mp &^ (1 << uint(proc))
+	vec := s.sharers.at(block)
+	for wi := range vec {
+		others := vec[wi]
+		if wi == proc>>6 {
+			others &^= 1 << uint(proc&63)
+		}
 		for m := others; m != 0; m &= m - 1 {
-			p := bits.TrailingZeros64(m)
+			p := wi<<6 + bits.TrailingZeros64(m)
 			ways := s.caches[p][base : base+s.assoc]
 			for w := range ways {
 				if ways[w].valid && ways[w].tag == block {
@@ -977,34 +1018,20 @@ func (s *Sim) invalidateOthers(proc int, block, addr, size int64) {
 				}
 			}
 		}
-		*mp &^= others
-		return
-	}
-	for p := 0; p < s.cfg.NumProcs; p++ {
-		if p == proc {
-			continue
-		}
-		ways := s.caches[p][base : base+s.assoc]
-		for w := range ways {
-			if ways[w].valid && ways[w].tag == block {
-				ways[w].valid = false
-				s.stats.Invalidations++
-				bm := s.meta[p].at(block)
-				bm.resident = false
-				bm.lostByInv = true
-				bm.lostAt = s.time
-				if s.attr != nil {
-					bm.lostBy = int32(proc)
-					bm.lostAddr = addr
-					s.attr.OnInvalidate(proc, addr, size, p)
-				}
-			}
-		}
+		vec[wi] &^= others
 	}
 }
 
 // sectorBits returns the per-sector bit mask covered by [addr,
 // addr+size) within its block (per-word in WordInvalidate mode).
+//
+// The w < 64 clamp below is load-bearing only because Validate caps a
+// block at 64 sectors (and WordInvalidate blocks at 64 words): the
+// widest legal geometry puts the block's last sector exactly at bit
+// 63, so the clamp never drops a sector of a valid configuration — it
+// only keeps the shift in range if a corrupted size ever reaches this
+// path. TestSectorBit63Exercised pins the 64-sector edge so a future
+// relaxation of the Validate invariant cannot silently truncate here.
 func (s *Sim) sectorBits(addr, size int64) uint64 {
 	blockStart := addr >> s.blkShift << s.blkShift
 	first := (addr - blockStart) >> s.secShift
@@ -1078,12 +1105,16 @@ func (s *Sim) sectorMiss(proc int, block, addr, size int64, write bool, ln *line
 func (s *Sim) invalidateSectors(proc int, block, addr, size int64) {
 	sbits := s.sectorBits(addr, size)
 	base := (block & s.setMask) * s.assoc
-	if !s.wideProcs {
-		// Copies stay resident (only the written sectors are masked),
-		// so the sharer set is read, not cleared.
-		others := s.sharers.get(block) &^ (1 << uint(proc))
+	// Copies stay resident (only the written sectors are masked), so
+	// the sharer vector is read, not cleared.
+	vec := s.sharers.get(block)
+	for wi := range vec {
+		others := vec[wi]
+		if wi == proc>>6 {
+			others &^= 1 << uint(proc&63)
+		}
 		for m := others; m != 0; m &= m - 1 {
-			p := bits.TrailingZeros64(m)
+			p := wi<<6 + bits.TrailingZeros64(m)
 			ways := s.caches[p][base : base+s.assoc]
 			for w := range ways {
 				if ways[w].valid && ways[w].tag == block {
@@ -1102,48 +1133,19 @@ func (s *Sim) invalidateSectors(proc int, block, addr, size int64) {
 				}
 			}
 		}
-		return
-	}
-	for p := 0; p < s.cfg.NumProcs; p++ {
-		if p == proc {
-			continue
-		}
-		ways := s.caches[p][base : base+s.assoc]
-		for w := range ways {
-			if ways[w].valid && ways[w].tag == block {
-				if ways[w].invMask&sbits != sbits {
-					s.stats.Invalidations++
-					if s.attr != nil {
-						s.attr.OnInvalidate(proc, addr, size, p)
-					}
-				}
-				if ways[w].invMask == 0 {
-					ways[w].invAt = s.time
-					ways[w].invBy = int32(proc)
-					ways[w].invAddr = addr
-				}
-				ways[w].invMask |= sbits
-			}
-		}
 	}
 }
 
 // heldElsewhere reports whether another processor's cache holds the
 // block (the miss would be serviced cache-to-cache on the KSR).
 func (s *Sim) heldElsewhere(proc int, block int64) bool {
-	if !s.wideProcs {
-		return s.sharers.get(block)&^(1<<uint(proc)) != 0
-	}
-	base := (block & s.setMask) * s.assoc
-	for p := 0; p < s.cfg.NumProcs; p++ {
-		if p == proc {
-			continue
+	vec := s.sharers.get(block)
+	for wi, m := range vec {
+		if wi == proc>>6 {
+			m &^= 1 << uint(proc&63)
 		}
-		ways := s.caches[p][base : base+s.assoc]
-		for w := range ways {
-			if ways[w].valid && ways[w].tag == block {
-				return true
-			}
+		if m != 0 {
+			return true
 		}
 	}
 	return false

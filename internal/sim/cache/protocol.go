@@ -166,39 +166,23 @@ func (s *Sim) chargeMiss(proc int, block int64) {
 // ring serves it.
 func (s *Sim) serviceRemote(proc int, block int64) bool {
 	r := s.ring(proc)
-	if !s.wideProcs {
-		m := s.sharers.get(block) &^ (1 << uint(proc))
-		if m&s.ringMasks[r] != 0 {
+	rm := s.ringMasks[r]
+	cached := false
+	vec := s.sharers.get(block)
+	for wi, m := range vec {
+		if wi == proc>>6 {
+			m &^= 1 << uint(proc&63)
+		}
+		if m == 0 {
+			continue
+		}
+		if m&rm[wi] != 0 {
 			return false
 		}
-		if m != 0 {
-			return true
-		}
-	} else {
-		base := (block & s.setMask) * s.assoc
-		sameRing, otherRing := false, false
-		for p := 0; p < s.cfg.NumProcs && !sameRing; p++ {
-			if p == proc {
-				continue
-			}
-			ways := s.caches[p][base : base+s.assoc]
-			for w := range ways {
-				if ways[w].valid && ways[w].tag == block {
-					if s.ring(p) == r {
-						sameRing = true
-					} else {
-						otherRing = true
-					}
-					break
-				}
-			}
-		}
-		if sameRing {
-			return false
-		}
-		if otherRing {
-			return true
-		}
+		cached = true
+	}
+	if cached {
+		return true
 	}
 	return s.homeRing(block) != r
 }
@@ -229,27 +213,18 @@ func (s *Sim) homeRing(block int64) int {
 // invalidate nothing.
 func (s *Sim) downgradeOthers(proc int, block int64) {
 	base := (block & s.setMask) * s.assoc
-	if !s.wideProcs {
-		others := s.sharers.get(block) &^ (1 << uint(proc))
+	vec := s.sharers.get(block)
+	for wi, others := range vec {
+		if wi == proc>>6 {
+			others &^= 1 << uint(proc&63)
+		}
 		for m := others; m != 0; m &= m - 1 {
-			p := bits.TrailingZeros64(m)
+			p := wi<<6 + bits.TrailingZeros64(m)
 			ways := s.caches[p][base : base+s.assoc]
 			for w := range ways {
 				if ways[w].valid && ways[w].tag == block && ways[w].state == stateExclusive {
 					ways[w].state = stateShared
 				}
-			}
-		}
-		return
-	}
-	for p := 0; p < s.cfg.NumProcs; p++ {
-		if p == proc {
-			continue
-		}
-		ways := s.caches[p][base : base+s.assoc]
-		for w := range ways {
-			if ways[w].valid && ways[w].tag == block && ways[w].state == stateExclusive {
-				ways[w].state = stateShared
 			}
 		}
 	}
@@ -262,27 +237,18 @@ func (s *Sim) downgradeOthers(proc int, block int64) {
 // a later protocol comparison sees identical write history.
 func (s *Sim) updateOthers(proc int, block int64) {
 	base := (block & s.setMask) * s.assoc
-	if !s.wideProcs {
-		others := s.sharers.get(block) &^ (1 << uint(proc))
+	vec := s.sharers.get(block)
+	for wi, others := range vec {
+		if wi == proc>>6 {
+			others &^= 1 << uint(proc&63)
+		}
 		for m := others; m != 0; m &= m - 1 {
-			p := bits.TrailingZeros64(m)
+			p := wi<<6 + bits.TrailingZeros64(m)
 			ways := s.caches[p][base : base+s.assoc]
 			for w := range ways {
 				if ways[w].valid && ways[w].tag == block {
 					s.stats.Updates++
 				}
-			}
-		}
-		return
-	}
-	for p := 0; p < s.cfg.NumProcs; p++ {
-		if p == proc {
-			continue
-		}
-		ways := s.caches[p][base : base+s.assoc]
-		for w := range ways {
-			if ways[w].valid && ways[w].tag == block {
-				s.stats.Updates++
 			}
 		}
 	}

@@ -6,18 +6,25 @@ import (
 	"testing"
 )
 
-// refSim is the original map-based simulator, kept as the correctness
-// oracle for the flat paged-table rewrite (verbatim except that Access
-// follows the same most-severe-sub-block return contract as Sim): both
-// implement the same protocol and classification, so for any trace and
-// any configuration their Stats must be byte-identical. Only the storage
-// differs — refSim pays map lookups and per-block allocations on the
-// classification paths, which is exactly what the flat tables remove.
+// refSim is the original map-based, scan-based simulator, kept as the
+// correctness oracle for the flat paged-table + sharer-directory
+// rewrite (verbatim except that Access follows the same
+// most-severe-sub-block return contract as Sim): both implement the
+// same protocols, topologies and classification, so for any trace and
+// any configuration their Stats must be byte-identical. Only the
+// mechanics differ — refSim pays map lookups, per-block allocations
+// and O(NumProcs × Assoc) tag scans on every coherence path, which is
+// exactly what the flat tables and the multi-word sharer vector
+// remove. The scans deleted from the production simulator live on
+// here: each coherence helper below walks every processor's cache the
+// way the pre-directory code did, so the directory walk is checked
+// against first principles rather than against itself.
 type refSim struct {
 	cfg      Config
 	nsets    int64
 	blkShift uint
 	setMask  int64
+	nrings   int
 
 	caches [][]line
 	meta   []map[int64]*refBlockMeta
@@ -40,6 +47,17 @@ func newRefSim(cfg Config) *refSim {
 	if cfg.Assoc <= 0 {
 		cfg.Assoc = 4
 	}
+	if cfg.Topology == TopoTwoRing {
+		if cfg.RingSize == 0 {
+			cfg.RingSize = DefaultRingSize
+		}
+		if cfg.LocalLatency == 0 {
+			cfg.LocalLatency = DefaultLocalLatency
+		}
+		if cfg.RemoteLatency == 0 {
+			cfg.RemoteLatency = DefaultRemoteLatency
+		}
+	}
 	nsets := cfg.CacheSize / (cfg.BlockSize * int64(cfg.Assoc))
 	if nsets < 1 {
 		nsets = 1
@@ -57,6 +75,9 @@ func newRefSim(cfg Config) *refSim {
 	for b := cfg.BlockSize; b > 1; b >>= 1 {
 		s.blkShift++
 	}
+	if cfg.Topology == TopoTwoRing {
+		s.nrings = (cfg.NumProcs + cfg.RingSize - 1) / cfg.RingSize
+	}
 	s.caches = make([][]line, cfg.NumProcs)
 	s.meta = make([]map[int64]*refBlockMeta, cfg.NumProcs)
 	for p := 0; p < cfg.NumProcs; p++ {
@@ -64,6 +85,8 @@ func newRefSim(cfg Config) *refSim {
 		s.meta[p] = map[int64]*refBlockMeta{}
 	}
 	s.stats.Config = cfg
+	s.stats.Sets = nsets
+	s.stats.EffectiveCacheSize = nsets * cfg.BlockSize * int64(cfg.Assoc)
 	s.stats.ProcRefs = make([]int64, cfg.NumProcs)
 	s.stats.ProcMisses = make([]int64, cfg.NumProcs)
 	s.stats.ProcCold = make([]int64, cfg.NumProcs)
@@ -129,16 +152,24 @@ func (s *refSim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 			if s.heldElsewhere(proc, block) {
 				s.stats.ProcRemote[proc]++
 			}
+			s.chargeMiss(proc, block)
 			return TrueSharing
 		}
 		ln.lru = s.time
 		if write && ln.state == stateShared {
 			s.stats.Upgrades++
-			s.invalidateOthers(proc, block)
+			if s.cfg.Protocol != WriteUpdate {
+				s.invalidateOthers(proc, block)
+			}
 			ln.state = stateModified
+		} else if write && ln.state == stateExclusive {
+			s.stats.SilentUpgrades++
 		}
 		if write {
 			ln.state = stateModified
+			if s.cfg.Protocol == WriteUpdate {
+				s.updateOthers(proc, block)
+			}
 			if s.cfg.WordInvalidate {
 				s.invalidateWords(proc, block, addr, size)
 			}
@@ -170,9 +201,11 @@ func (s *refSim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 		s.stats.ProcReplace[proc]++
 	}
 	s.stats.ProcMisses[proc]++
-	if s.heldElsewhere(proc, block) {
+	remote := s.heldElsewhere(proc, block)
+	if remote {
 		s.stats.ProcRemote[proc]++
 	}
+	s.chargeMiss(proc, block)
 
 	victim := 0
 	for w := range ways {
@@ -196,11 +229,21 @@ func (s *refSim) accessBlock(proc int, addr, size int64, write bool) MissKind {
 	st := stateShared
 	if write {
 		st = stateModified
-		s.invalidateOthers(proc, block)
+		if s.cfg.Protocol == WriteUpdate {
+			s.updateOthers(proc, block)
+		} else {
+			s.invalidateOthers(proc, block)
+		}
 		if s.cfg.WordInvalidate {
 			s.invalidateWords(proc, block, addr, size)
 		}
 		s.recordWrite(proc, addr, size)
+	} else if s.cfg.Protocol == MESI {
+		if remote {
+			s.downgradeOthers(proc, block)
+		} else {
+			st = stateExclusive
+		}
 	}
 	ways[victim] = line{tag: block, valid: true, state: st, lru: s.time}
 	bm.seen = true
@@ -229,6 +272,90 @@ func (s *refSim) invalidateOthers(proc int, block int64) {
 			}
 		}
 	}
+}
+
+// updateOthers is the write-update fan-out as a full tag scan: one
+// Updates count per remote valid copy of the block.
+func (s *refSim) updateOthers(proc int, block int64) {
+	set := block & s.setMask
+	for p := 0; p < s.cfg.NumProcs; p++ {
+		if p == proc {
+			continue
+		}
+		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		for w := range ways {
+			if ways[w].valid && ways[w].tag == block {
+				s.stats.Updates++
+			}
+		}
+	}
+}
+
+// downgradeOthers is the MESI read-fill snoop as a full tag scan:
+// remote Exclusive copies demote to Shared.
+func (s *refSim) downgradeOthers(proc int, block int64) {
+	set := block & s.setMask
+	for p := 0; p < s.cfg.NumProcs; p++ {
+		if p == proc {
+			continue
+		}
+		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		for w := range ways {
+			if ways[w].valid && ways[w].tag == block && ways[w].state == stateExclusive {
+				ways[w].state = stateShared
+			}
+		}
+	}
+}
+
+// chargeMiss mirrors Sim.chargeMiss for the two-ring topology, with
+// serviceRemote implemented as a full tag scan: a valid same-ring copy
+// means local service, any other valid copy means crossing rings, and
+// a block cached nowhere is served by its home ring.
+func (s *refSim) chargeMiss(proc int, block int64) {
+	if s.cfg.Topology != TopoTwoRing {
+		return
+	}
+	if s.serviceRemote(proc, block) {
+		s.stats.RemoteServiced++
+		s.stats.CostCycles += s.cfg.RemoteLatency
+	} else {
+		s.stats.LocalServiced++
+		s.stats.CostCycles += s.cfg.LocalLatency
+	}
+}
+
+func (s *refSim) serviceRemote(proc int, block int64) bool {
+	r := proc / s.cfg.RingSize
+	cached := false
+	set := block & s.setMask
+	for p := 0; p < s.cfg.NumProcs; p++ {
+		if p == proc {
+			continue
+		}
+		ways := s.caches[p][set*int64(s.cfg.Assoc) : (set+1)*int64(s.cfg.Assoc)]
+		for w := range ways {
+			if ways[w].valid && ways[w].tag == block {
+				if p/s.cfg.RingSize == r {
+					return false
+				}
+				cached = true
+			}
+		}
+	}
+	if cached {
+		return true
+	}
+	return s.homeRing(block) != r
+}
+
+func (s *refSim) homeRing(block int64) int {
+	n := int64(s.nrings)
+	h := block % n
+	if h < 0 {
+		h += n
+	}
+	return int(h)
 }
 
 func (s *refSim) wordBits(addr, size int64) uint64 {
@@ -398,17 +525,19 @@ func TestFlatMatchesReferenceTinyCache(t *testing.T) {
 	}
 }
 
-// TestFlatMatchesReferenceWideProcs covers the >64-processor fallback,
-// where the per-block sharer bitmask cannot represent every processor
-// and the coherence paths revert to full tag scans.
+// TestFlatMatchesReferenceWideProcs pins the first multi-word sharer
+// vector width: 70 processors need K=2 directory words per block, the
+// narrowest configuration where the old single-uint64 mask could not
+// represent every processor and the deleted wideProcs fallback used to
+// take over.
 func TestFlatMatchesReferenceWideProcs(t *testing.T) {
 	cfg := DefaultConfig(70, 64)
 	flat, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !flat.wideProcs {
-		t.Fatal("70 processors should select the wide-proc fallback")
+	if flat.sharers.words != 2 {
+		t.Fatalf("70 processors: sharer vector words = %d, want 2", flat.sharers.words)
 	}
 	ref := newRefSim(cfg)
 	for _, r := range genTrace(7, 70, 30000) {
@@ -417,5 +546,58 @@ func TestFlatMatchesReferenceWideProcs(t *testing.T) {
 	}
 	if !reflect.DeepEqual(flat.Stats(), &ref.stats) {
 		t.Errorf("stats diverge\nflat: %sref:  %s", flat.Stats(), &ref.stats)
+	}
+}
+
+// TestFlatMatchesReferenceWideMatrix is the full wide-processor
+// byte-identity matrix: {70, 128, 1024} processors × every protocol ×
+// both topologies, flat multi-word directory vs the map-based scan
+// oracle. 70 straddles a word boundary (K=2 with a partial top word),
+// 128 is an exact two-word vector, and 1024 is the paper-scale
+// sixteen-word machine. Trace lengths shrink with width because the
+// oracle is O(procs) per coherence event — identity, not throughput,
+// is what this test buys.
+func TestFlatMatchesReferenceWideMatrix(t *testing.T) {
+	type dims struct {
+		nprocs int
+		refs   int
+	}
+	widths := []dims{{70, 20000}, {128, 20000}, {1024, 4000}}
+	if testing.Short() {
+		widths = []dims{{70, 8000}, {128, 8000}, {1024, 1500}}
+	}
+	for _, d := range widths {
+		for _, proto := range Protocols() {
+			for _, topo := range Topologies() {
+				cfg := DefaultConfig(d.nprocs, 64)
+				// Small cache: replacements and re-fills churn the
+				// sharer vector instead of letting it grow monotonic.
+				cfg.CacheSize = 8 * 1024
+				cfg.Assoc = 2
+				cfg.Protocol = proto
+				cfg.Topology = topo
+				flat, err := New(cfg)
+				if err != nil {
+					t.Fatalf("New(p%d %v %v): %v", d.nprocs, proto, topo, err)
+				}
+				if want := int64((d.nprocs + 63) / 64); flat.sharers.words != want {
+					t.Fatalf("p%d: sharer vector words = %d, want %d", d.nprocs, flat.sharers.words, want)
+				}
+				ref := newRefSim(cfg)
+				tr := genTrace(int64(d.nprocs)*31+int64(proto)*7+int64(topo), d.nprocs, d.refs)
+				for i, r := range tr {
+					kf := flat.Access(r.proc, r.addr, r.size, r.write)
+					kr := ref.Access(r.proc, r.addr, r.size, r.write)
+					if kf != kr {
+						t.Fatalf("p%d %v %v: ref %d (%+v): flat=%v ref=%v",
+							d.nprocs, proto, topo, i, r, kf, kr)
+					}
+				}
+				if !reflect.DeepEqual(flat.Stats(), &ref.stats) {
+					t.Errorf("p%d %v %v: stats diverge\nflat: %sref:  %s",
+						d.nprocs, proto, topo, flat.Stats(), &ref.stats)
+				}
+			}
+		}
 	}
 }
