@@ -94,6 +94,7 @@ func main() {
 		workersN   = flag.Int("workers", 0, "distribute cells across this many spawned worker processes (0 = run in-process)")
 		listenAddr = flag.String("listen", "", "accept external fabric workers on this TCP host:port")
 		cacheDir   = flag.String("cache", "", "content-addressed result cache directory: identical cells dedup across runs and shards")
+		cacheBytes = flag.Int64("cache-bytes", 0, "LRU byte budget for -cache: least-recently-used entries are evicted past this size (0 = unlimited)")
 
 		resume     = flag.String("resume", "", "checkpoint completed cells into this directory's journal and skip cells already checkpointed")
 		keepGoing  = flag.Bool("keep-going", false, "keep running after cell failures and render partial figures/tables (default: fail fast)")
@@ -263,6 +264,7 @@ func main() {
 	// byte-identical to an in-process run.
 	var coord *fabric.Coordinator
 	var fabricRec *obs.Recorder
+	var fabricCache *fabric.Cache
 	if *workersN > 0 || *listenAddr != "" {
 		var sections []string
 		if *fig3 {
@@ -292,9 +294,10 @@ func main() {
 		var cc *fabric.Cache
 		if *cacheDir != "" {
 			var err error
-			cc, err = fabric.OpenCache(*cacheDir)
+			cc, err = fabric.OpenCacheBudget(*cacheDir, *cacheBytes)
 			check(err)
 		}
+		fabricCache = cc
 		fabricRec = obs.NewRecorder()
 		if base := obs.Default(); base != nil {
 			fabricRec.Verbose = base.Verbose
@@ -341,6 +344,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fsexp: fabric: %v\n", err)
 		}
 		st := coord.Stats()
+		// Stats first, then flush the cache's LRU index: the counters
+		// (hits/misses/corrupt/evicted) ride in st.
+		if err := fabricCache.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "fsexp: fabric: %v\n", err)
+		}
 		fmt.Fprintln(os.Stderr, "fsexp: "+st.Summary())
 		if *reportDir != "" {
 			rep := fabricRec.Report("fsexp")

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 
 	"falseshare/internal/lang/ast"
 	"falseshare/internal/lang/types"
@@ -22,6 +24,29 @@ type InternalError struct {
 
 func (e *InternalError) Error() string {
 	return fmt.Sprintf("core: internal error in %s: %s", e.Stage, e.Value)
+}
+
+// ErrorStage names the pipeline stage a compile or restructure error
+// came from: the contained-panic stage for an *InternalError, or the
+// stage prefix ("parse", "check", "layout") the pipeline wraps its
+// stage errors with. Returns "" when the error carries no stage —
+// callers (the fsd daemon's typed JSON errors, reports) should fall
+// back to a generic label.
+func ErrorStage(err error) string {
+	if err == nil {
+		return ""
+	}
+	var ie *InternalError
+	if errors.As(err, &ie) {
+		return ie.Stage
+	}
+	msg := err.Error()
+	for _, stage := range []string{"parse", "check", "layout"} {
+		if strings.HasPrefix(msg, stage+": ") {
+			return stage
+		}
+	}
+	return ""
 }
 
 // guard runs one pipeline stage under panic containment.

@@ -1,18 +1,16 @@
 package fabric
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
+	"context"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 
+	"falseshare/internal/artifact"
 	"falseshare/internal/experiments"
 	"falseshare/internal/obs"
 )
 
-// Cache is the content-addressed result store: one JSON file per
+// Cache is the content-addressed result store: one JSON entry per
 // cell, addressed by hash(schema version ‖ cell fingerprint). The
 // fingerprint covers everything the result depends on — program
 // source, cell configuration, scale, budget — and the schema version
@@ -25,41 +23,48 @@ import (
 // execution recorded, so a cache-served cell reconstructs the same
 // manifest as a computed one — the journal's byte-identity contract,
 // extended across runs.
+//
+// Storage is the artifact package's crash-safe store: atomic writes,
+// a recovery scan at open that drops torn or corrupt entries (and
+// counts them — visible in the fabric summary line), and optional
+// LRU eviction under a byte budget.
 type Cache struct {
-	dir string
+	store *artifact.Store
 	// Schema is the cache key version, normally experiments.CellSchema.
 	// Exposed so tests can prove a version bump forces recomputation.
 	Schema string
 }
 
-// cacheEntry is one stored cell.
-type cacheEntry struct {
-	Schema      string          `json:"schema"`
-	Fingerprint string          `json:"fingerprint"`
-	Key         string          `json:"key"`
-	Data        json.RawMessage `json:"data"`
-	Spans       []*obs.Span     `json:"spans,omitempty"`
+// cellPayload is one stored cell's content: the result JSON plus the
+// recorded span subtree.
+type cellPayload struct {
+	Key   string          `json:"key"`
+	Data  json.RawMessage `json:"data"`
+	Spans []*obs.Span     `json:"spans,omitempty"`
 }
 
-// OpenCache opens (creating as needed) the cache rooted at dir.
+// OpenCache opens (creating as needed) the cache rooted at dir, with
+// no eviction budget.
 func OpenCache(dir string) (*Cache, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenCacheBudget(dir, 0)
+}
+
+// OpenCacheBudget opens the cache with an LRU eviction budget over
+// entry bytes (0 = unlimited). Opening runs the store's recovery
+// scan; torn or corrupt entries are dropped and counted.
+func OpenCacheBudget(dir string, maxBytes int64) (*Cache, error) {
+	st, err := artifact.Open(dir, artifact.Options{
+		MaxBytes:   maxBytes,
+		FaultPoint: "fabric.cache",
+	})
+	if err != nil {
 		return nil, fmt.Errorf("fabric: cache: %w", err)
 	}
-	return &Cache{dir: dir, Schema: experiments.CellSchema}, nil
+	return &Cache{store: st, Schema: experiments.CellSchema}, nil
 }
 
 // Dir returns the cache root.
-func (c *Cache) Dir() string { return c.dir }
-
-// path maps a fingerprint to its entry file: <dir>/<h[:2]>/<h>.json,
-// fanned out over 256 subdirectories so huge sweeps don't pile every
-// entry into one directory.
-func (c *Cache) path(fingerprint string) string {
-	sum := sha256.Sum256([]byte(c.Schema + "\x00" + fingerprint))
-	h := hex.EncodeToString(sum[:])
-	return filepath.Join(c.dir, h[:2], h+".json")
-}
+func (c *Cache) Dir() string { return c.store.Dir() }
 
 // Get returns the cached result and spans for a fingerprint, if
 // present. A stored entry whose schema or fingerprint does not match
@@ -69,15 +74,15 @@ func (c *Cache) Get(fingerprint string) (json.RawMessage, []*obs.Span, bool) {
 	if c == nil || fingerprint == "" {
 		return nil, nil, false
 	}
-	b, err := os.ReadFile(c.path(fingerprint))
-	if err != nil {
+	b, ok := c.store.Get(c.Schema, fingerprint)
+	if !ok {
 		return nil, nil, false
 	}
-	var e cacheEntry
-	if err := json.Unmarshal(b, &e); err != nil || e.Schema != c.Schema || e.Fingerprint != fingerprint {
+	var p cellPayload
+	if json.Unmarshal(b, &p) != nil {
 		return nil, nil, false
 	}
-	return e.Data, e.Spans, true
+	return p.Data, p.Spans, true
 }
 
 // Put stores one successful cell result, atomically (tmp + rename),
@@ -89,31 +94,30 @@ func (c *Cache) Put(fingerprint, key string, data json.RawMessage, spans []*obs.
 	if c == nil || fingerprint == "" {
 		return nil
 	}
-	e := cacheEntry{Schema: c.Schema, Fingerprint: fingerprint, Key: key, Data: data, Spans: spans}
-	b, err := json.Marshal(&e)
+	b, err := json.Marshal(&cellPayload{Key: key, Data: data, Spans: spans})
 	if err != nil {
 		return fmt.Errorf("fabric: cache put %s: %w", key, err)
 	}
-	path := c.path(fingerprint)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("fabric: cache put %s: %w", key, err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("fabric: cache put %s: %w", key, err)
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("fabric: cache put %s: %w", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("fabric: cache put %s: %w", key, err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.store.Put(context.Background(), c.Schema, fingerprint, b); err != nil {
 		return fmt.Errorf("fabric: cache put %s: %w", key, err)
 	}
 	return nil
+}
+
+// Counters snapshots the underlying store's activity — hits, misses,
+// corrupt entries dropped, evictions. nil-safe.
+func (c *Cache) Counters() artifact.Counters {
+	if c == nil {
+		return artifact.Counters{}
+	}
+	return c.store.Counters()
+}
+
+// Close flushes the store's LRU recency index. nil-safe; losing the
+// flush costs eviction accuracy, never entries.
+func (c *Cache) Close() error {
+	if c == nil {
+		return nil
+	}
+	return c.store.Close()
 }

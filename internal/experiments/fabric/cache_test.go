@@ -108,9 +108,17 @@ func TestCacheCorruptEntryIsMiss(t *testing.T) {
 	if _, _, ok := c.Get("matrix:fp1"); ok {
 		t.Error("corrupt entry served as a hit")
 	}
+	// The corruption is dropped from disk and visible in counters,
+	// not silently re-read forever.
+	if _, err := os.Stat(files[0]); !os.IsNotExist(err) {
+		t.Error("corrupt entry not dropped from disk")
+	}
+	if n := c.Counters().CorruptDropped; n != 1 {
+		t.Errorf("CorruptDropped = %d, want 1", n)
+	}
 	// An entry whose recorded fingerprint disagrees with its address
 	// (collision, manual tampering) is also a miss.
-	b, _ := json.Marshal(cacheEntry{Schema: c.Schema, Fingerprint: "matrix:other", Key: "k", Data: json.RawMessage(`1`)})
+	b, _ := json.Marshal(map[string]any{"schema": c.Schema, "key": "matrix:other", "data": json.RawMessage(`1`)})
 	if err := os.WriteFile(files[0], b, 0o644); err != nil {
 		t.Fatal(err)
 	}

@@ -122,13 +122,20 @@ type Stats struct {
 	// fingerprinted cells.
 	CacheHits   int
 	CacheMisses int
+	// CacheCorrupt counts torn or corrupt cache entries dropped (at
+	// the open-time recovery scan or on read) and CacheEvicted counts
+	// LRU evictions under the byte budget — previously both were
+	// silently folded into misses.
+	CacheCorrupt int
+	CacheEvicted int
 }
 
 // Summary renders the one-line run summary fsexp prints.
 func (s Stats) Summary() string {
 	return fmt.Sprintf(
-		"fabric: workers spawned=%d attached=%d deaths=%d | cells=%d reassigned=%d retries=%d | cache hits=%d misses=%d",
-		s.Spawned, s.Attached, s.Deaths, s.Cells, s.Reassigned, s.Retries, s.CacheHits, s.CacheMisses)
+		"fabric: workers spawned=%d attached=%d deaths=%d | cells=%d reassigned=%d retries=%d | cache hits=%d misses=%d corrupt=%d evicted=%d",
+		s.Spawned, s.Attached, s.Deaths, s.Cells, s.Reassigned, s.Retries,
+		s.CacheHits, s.CacheMisses, s.CacheCorrupt, s.CacheEvicted)
 }
 
 // Coordinator shards cells across worker processes. It implements
@@ -281,11 +288,17 @@ func (c *Coordinator) Addr() string {
 	return c.listener.Addr().String()
 }
 
-// Stats returns a snapshot of the fabric counters.
+// Stats returns a snapshot of the fabric counters, folding in the
+// content cache's own accounting (corrupt entries dropped, LRU
+// evictions) so the manifest and summary line expose them.
 func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	st := c.stats
+	c.mu.Unlock()
+	cc := c.opt.Cache.Counters()
+	st.CacheCorrupt = int(cc.CorruptDropped)
+	st.CacheEvicted = int(cc.Evictions)
+	return st
 }
 
 // Pids lists the live spawned worker process ids (TCP workers have

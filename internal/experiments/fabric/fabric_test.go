@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"syscall"
@@ -577,6 +578,72 @@ func TestFabricTCPWorker(t *testing.T) {
 	st := coord.Stats()
 	if st.Attached != 1 || st.Spawned != 0 {
 		t.Errorf("attached=%d spawned=%d, want 1/0", st.Attached, st.Spawned)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-workerErr:
+		if err != nil {
+			t.Errorf("TCP worker exited with %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("TCP worker did not exit after shutdown")
+	}
+}
+
+// TestFabricTCPWorkerRetriesUntilCoordinatorUp is the start-order
+// regression test: a worker launched before the coordinator's
+// -listen socket exists must retry with backoff and attach once the
+// listener appears, instead of dying on the first refused dial.
+func TestFabricTCPWorkerRetriesUntilCoordinatorUp(t *testing.T) {
+	// Tighten the dial policy so the test is fast; the schedule is
+	// still real retries against a real refused port.
+	defer func(to time.Duration, n int, b, m time.Duration) {
+		tcpDialTimeout, tcpDialAttempts, tcpDialBackoff, tcpDialBackoffMax = to, n, b, m
+	}(tcpDialTimeout, tcpDialAttempts, tcpDialBackoff, tcpDialBackoffMax)
+	tcpDialTimeout = 2 * time.Second
+	tcpDialAttempts = 60
+	tcpDialBackoff = 25 * time.Millisecond
+	tcpDialBackoffMax = 100 * time.Millisecond
+
+	// Reserve an address nothing is listening on yet.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	workerErr := make(chan error, 1)
+	go func() { workerErr <- RunWorkerTCP(addr) }()
+	// Let at least one dial fail against the closed port before the
+	// coordinator comes up.
+	time.Sleep(60 * time.Millisecond)
+	select {
+	case err := <-workerErr:
+		t.Fatalf("worker gave up before the coordinator started: %v", err)
+	default:
+	}
+
+	cfg, mopt, set := testGrid()
+	coord := startCoordinator(t, Options{Listen: addr, Spec: cfg.Spec(), Set: set})
+
+	fcfg := cfg
+	fcfg.Runner = coord
+	got, err := experiments.Matrix(fcfg, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Matrix(cfg, mopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, got), mustJSON(t, want)) {
+		t.Error("late-coordinator results differ from local run")
+	}
+	if st := coord.Stats(); st.Attached != 1 {
+		t.Errorf("attached=%d, want 1", st.Attached)
 	}
 	if err := coord.Close(); err != nil {
 		t.Fatal(err)

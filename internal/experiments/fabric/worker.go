@@ -133,12 +133,55 @@ func peerGone(err error) bool {
 		errors.Is(err, syscall.EPIPE)
 }
 
+// Dial policy for RunWorkerTCP: workers are routinely started before
+// the coordinator's -listen socket is up (init systems, parallel ssh
+// fan-out), so a refused dial retries with exponential backoff and
+// jitter instead of dying. Package variables so tests can tighten
+// them.
+var (
+	tcpDialTimeout    = 10 * time.Second
+	tcpDialAttempts   = 8
+	tcpDialBackoff    = 250 * time.Millisecond
+	tcpDialBackoffMax = 3 * time.Second
+	tcpDialNow        = time.Now // only the jitter reads the clock
+)
+
+// dialCoordinator dials addr with bounded retry: tcpDialAttempts
+// attempts, exponential backoff from tcpDialBackoff capped at
+// tcpDialBackoffMax, each wait jittered by up to half its length so
+// a fleet of workers pointed at one coordinator doesn't reconnect in
+// lockstep.
+func dialCoordinator(addr string) (net.Conn, error) {
+	backoff := tcpDialBackoff
+	var lastErr error
+	for attempt := 0; attempt < tcpDialAttempts; attempt++ {
+		if attempt > 0 {
+			jitter := time.Duration(tcpDialNow().UnixNano()) % (backoff / 2)
+			obs.Logf("fabric: worker: dial %s failed (%v), retry %d/%d in %v",
+				addr, lastErr, attempt, tcpDialAttempts-1, backoff+jitter)
+			time.Sleep(backoff + jitter)
+			if backoff *= 2; backoff > tcpDialBackoffMax {
+				backoff = tcpDialBackoffMax
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, tcpDialTimeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("fabric: worker: dial %s: %d attempts: %w",
+		addr, tcpDialAttempts, lastErr)
+}
+
 // RunWorkerTCP dials the coordinator and serves the worker protocol
-// over the connection (fsexp -worker -connect addr).
+// over the connection (fsexp -worker -connect addr). A coordinator
+// that is not listening yet is retried with backoff, so start order
+// does not matter.
 func RunWorkerTCP(addr string) error {
-	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	conn, err := dialCoordinator(addr)
 	if err != nil {
-		return fmt.Errorf("fabric: worker: %w", err)
+		return err
 	}
 	defer conn.Close()
 	return RunWorker(conn, conn)

@@ -99,6 +99,15 @@ func newMatrixStats(st *cache.Stats) MatrixStats {
 	}
 }
 
+// StatsRecord condenses raw simulator statistics into the compact,
+// JSON-tagged record the matrix manifests use (rates precomputed) —
+// also the daemon's analysis summary shape.
+func StatsRecord(st *cache.Stats) MatrixStats { return newMatrixStats(st) }
+
+// TopFSObjects names the attribution report's n worst false-sharing
+// objects, worst first.
+func TopFSObjects(rep *attr.Report, n int) []string { return topFSObjects(rep, n) }
+
 // MatrixCell is one (generated workload × protocol × topology) grid
 // cell: the unoptimized (N) and compiler-restructured (C) programs
 // measured under that protocol and topology, with the cell's top

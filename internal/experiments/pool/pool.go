@@ -321,6 +321,10 @@ func runAttempt[T any](ctx context.Context, pol Policy, base *obs.Recorder, span
 		rec = obs.NewRecorder()
 		rec.Verbose = base.Verbose
 		rec.LogW = base.LogW
+		// Streaming metrics pass through: a server counting simulated
+		// refs sees live snapshots from inside pooled jobs. The sink
+		// is documented goroutine-safe.
+		rec.OnMetrics = base.OnMetrics
 		prev := obs.BindGoroutine(rec)
 		defer obs.BindGoroutine(prev)
 	}

@@ -35,6 +35,14 @@
 // coord.kill (fired in the coordinator at each assignment; an error
 // firing there makes the coordinator SIGKILL the assigned worker
 // mid-cell — a deterministic, fires-once-globally worker kill).
+// The fsd daemon adds serve.handler (fired inside every admitted
+// request's pooled job, detail "<endpoint>/<source-hash>" — panic
+// and hang exercise containment and deadlines), serve.drain (fired
+// at the start of graceful drain), and the artifact store's points
+// serve.cache / fabric.cache (fired in Put with details "put/<key>"
+// and, inside the commit window between the tmp write and the
+// rename, "rename/<key>" — exit there leaves a torn write exactly
+// like kill -9; corrupt commits a deliberately damaged entry).
 // A literal * matches every point.
 //
 // Determinism: `after`/`count` count hits on a per-rule atomic counter

@@ -377,6 +377,22 @@ func (r *Recorder) Adopt(spans []*Span) {
 	r.root.Children = append(r.root.Children, spans...)
 }
 
+// Find returns the first span named name in a snapshot of the
+// recorder's tree (depth-first, in start order), or nil. The result
+// is a snapshot: open spans carry their wall time as of the call.
+// nil-safe.
+func (r *Recorder) Find(name string) *Span {
+	for _, s := range r.Spans() {
+		if s.Name == name {
+			return s
+		}
+		if f := s.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
 // Spans returns a snapshot of the recorder's top-level spans. Spans
 // still open are given their wall time as of the snapshot.
 func (r *Recorder) Spans() []*Span {

@@ -184,3 +184,30 @@ func TestConcurrentCounting(t *testing.T) {
 		t.Fatalf("concurrent counter = %d, want 8000", got)
 	}
 }
+
+func TestRecorderFind(t *testing.T) {
+	var nilRec *Recorder
+	if nilRec.Find("x") != nil {
+		t.Error("nil recorder Find != nil")
+	}
+	rec := NewRecorder()
+	Install(rec)
+	defer Install(nil)
+	outer := Begin("outer")
+	inner := Begin("inner")
+	inner.Count("items", 5)
+	inner.End()
+	outer.End()
+	top := Begin("request")
+	defer top.End()
+
+	if f := rec.Find("inner"); f == nil || f.Counter("items") != 5 {
+		t.Errorf("Find(inner) = %+v", f)
+	}
+	if f := rec.Find("request"); f == nil {
+		t.Error("Find missed an open top-level span")
+	}
+	if rec.Find("absent") != nil {
+		t.Error("Find invented a span")
+	}
+}
